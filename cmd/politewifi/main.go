@@ -1,0 +1,335 @@
+// Command politewifi is the interactive driver for the Polite WiFi
+// toolkit. Each subcommand stands up a simulated WPA2 home network
+// with a victim device, places an unauthenticated attacker outside
+// it, and runs one attack from the paper:
+//
+//	politewifi probe   [-n N] [-rts]         fake frames → count ACKs/CTSs
+//	politewifi scan    [-homes N] [-secs S]  neighbourhood scan pipeline
+//	politewifi drain   [-rate R] [-secs S]   battery-drain power measurement
+//	politewifi sense   [-rate R] [-secs S]   CSI capture during typing
+//	politewifi sifs                          decode-vs-SIFS feasibility table
+//	politewifi jam     [-secs S]             NAV (virtual) jamming demo
+//	politewifi deauth  [-pmf]                forged-deauth attack vs 802.11w
+//	politewifi locate  [-dist M] [-n N]      time-of-flight ranging via ACKs
+//
+// All radios, channels and victims are simulated; see DESIGN.md for
+// the hardware→simulation substitutions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"politewifi/internal/core"
+	"politewifi/internal/csi"
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+	"politewifi/internal/mac"
+	"politewifi/internal/phy"
+	"politewifi/internal/power"
+	"politewifi/internal/radio"
+	"politewifi/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: politewifi <probe|scan|drain|sense|sifs|jam|deauth|locate> [flags]")
+	os.Exit(2)
+}
+
+var (
+	apAddr     = dot11.MustMAC("f2:6e:0b:00:00:01")
+	victimAddr = dot11.MustMAC("f2:6e:0b:12:34:56")
+)
+
+// lab is the standard demo network.
+type lab struct {
+	sched    *eventsim.Scheduler
+	medium   *radio.Medium
+	ap       *mac.Station
+	victim   *mac.Station
+	attacker *core.Attacker
+}
+
+func newLab(seed int64, victimProfile mac.ChipsetProfile) *lab {
+	sched := eventsim.NewScheduler()
+	rng := eventsim.NewRNG(seed)
+	medium := radio.NewMedium(sched, rng.Fork(), radio.Config{
+		PathLoss:        radio.LogDistance{Exponent: 2.2},
+		CaptureMarginDB: 10,
+	})
+	l := &lab{sched: sched, medium: medium}
+	l.ap = mac.New(medium, rng.Fork(), mac.Config{
+		Name: "ap", Addr: apAddr, Role: mac.RoleAP, Profile: mac.ProfileGenericAP,
+		SSID: "HomeNet", Passphrase: "correct horse battery staple",
+		Position: radio.Position{X: 0}, Band: phy.Band2GHz, Channel: 6,
+	})
+	l.victim = mac.New(medium, rng.Fork(), mac.Config{
+		Name: "victim", Addr: victimAddr, Role: mac.RoleClient, Profile: victimProfile,
+		SSID: "HomeNet", Passphrase: "correct horse battery staple",
+		Position: radio.Position{X: 5}, Band: phy.Band2GHz, Channel: 6,
+	})
+	l.victim.Associate(apAddr, nil)
+	sched.RunFor(300 * eventsim.Millisecond)
+	l.attacker = core.NewAttacker(medium, radio.Position{X: 12}, phy.Band2GHz, 6, core.DefaultFakeMAC)
+	return l
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "probe":
+		cmdProbe(args)
+	case "scan":
+		cmdScan(args)
+	case "drain":
+		cmdDrain(args)
+	case "sense":
+		cmdSense(args)
+	case "sifs":
+		fmt.Print(core.RenderFeasibility(core.FeasibilityStudy(500)))
+	case "jam":
+		cmdJam(args)
+	case "deauth":
+		cmdDeauth(args)
+	case "locate":
+		cmdLocate(args)
+	default:
+		usage()
+	}
+}
+
+func cmdProbe(args []string) {
+	fs := flag.NewFlagSet("probe", flag.ExitOnError)
+	n := fs.Int("n", 10, "number of fake frames")
+	rts := fs.Bool("rts", false, "use RTS/CTS instead of null/ACK")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	fs.Parse(args)
+
+	l := newLab(*seed, mac.ProfileGenericClient)
+	cap := &trace.Capture{}
+	sniffer := l.medium.NewRadio("sniffer", radio.Position{X: 8}, phy.Band2GHz, 6)
+	cap.Attach(sniffer)
+
+	mode := core.ProbeNull
+	if *rts {
+		mode = core.ProbeRTS
+	}
+	res := core.ProbeSync(l.attacker, victimAddr, mode, *n, 3*eventsim.Millisecond)
+	fmt.Printf("probed %s (%s): %d/%d responses, responded=%v, first gap %.1f µs\n\n",
+		victimAddr, res.Mode, res.Responses, res.Sent, res.Responded, res.FirstGap.Micros())
+	fmt.Print(cap.Table(victimAddr, apAddr))
+}
+
+func cmdScan(args []string) {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	homes := fs.Int("homes", 6, "households in the neighbourhood")
+	secs := fs.Int("secs", 3, "scan duration (simulated seconds)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	fs.Parse(args)
+
+	sched := eventsim.NewScheduler()
+	rng := eventsim.NewRNG(*seed)
+	medium := radio.NewMedium(sched, rng.Fork(), radio.Config{
+		PathLoss: radio.LogDistance{Exponent: 2.4}, CaptureMarginDB: 10,
+	})
+	for i := 0; i < *homes; i++ {
+		apMAC := dot11.MustMAC(fmt.Sprintf("f2:6e:0b:00:%02x:01", i))
+		clMAC := dot11.MustMAC(fmt.Sprintf("ec:fa:bc:00:%02x:02", i))
+		pos := radio.Position{X: float64(i%3) * 30, Y: float64(i/3) * 30}
+		ap := mac.New(medium, rng.Fork(), mac.Config{
+			Name: fmt.Sprintf("ap%d", i), Addr: apMAC, Role: mac.RoleAP,
+			Profile: mac.ProfileGenericAP, SSID: fmt.Sprintf("Home-%d", i),
+			Position: pos, Band: phy.Band2GHz, Channel: 6,
+		})
+		_ = ap
+		cl := mac.New(medium, rng.Fork(), mac.Config{
+			Name: fmt.Sprintf("cl%d", i), Addr: clMAC, Role: mac.RoleClient,
+			Profile: mac.ProfileGenericClient, SSID: fmt.Sprintf("Home-%d", i),
+			Position: radio.Position{X: pos.X + 4, Y: pos.Y}, Band: phy.Band2GHz, Channel: 6,
+		})
+		cl.Associate(apMAC, nil)
+		sched.Every(200*eventsim.Millisecond, func() {
+			if cl.Associated() {
+				cl.SendData(apMAC, []byte("chatter"))
+			}
+		})
+	}
+	attacker := core.NewAttacker(medium, radio.Position{X: 30, Y: 15}, phy.Band2GHz, 6, core.DefaultFakeMAC)
+	scanner := core.NewScanner(attacker)
+	scanner.Start()
+	sched.RunFor(eventsim.Time(*secs) * eventsim.Second)
+	scanner.Stop()
+
+	fmt.Printf("%-20s %-8s %-14s %7s %6s %s\n", "MAC", "Kind", "SSID", "Probes", "ACKs", "Polite?")
+	for _, d := range scanner.Devices() {
+		fmt.Printf("%-20s %-8s %-14s %7d %6d %v\n", d.MAC, d.Kind, d.SSID, d.Probes, d.Acks, d.Responded)
+	}
+	t := scanner.Tally()
+	fmt.Printf("\n%d devices (%d clients, %d APs); %d responded (%.0f%%)\n",
+		t.Total, t.Clients, t.APs, t.TotalResponded,
+		100*float64(t.TotalResponded)/float64(max(1, t.Total)))
+}
+
+func cmdDrain(args []string) {
+	fs := flag.NewFlagSet("drain", flag.ExitOnError)
+	rate := fs.Float64("rate", 900, "fake frames per second")
+	secs := fs.Int("secs", 20, "attack duration (simulated seconds)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	fs.Parse(args)
+
+	l := newLab(*seed, mac.ProfileESP8266)
+	l.victim.EnablePowerSave()
+	l.sched.RunFor(500 * eventsim.Millisecond)
+
+	meter := power.Attach(l.victim, power.ESP8266)
+	dr := core.NewDrainer(l.attacker, victimAddr)
+	dr.Start(*rate)
+	l.sched.RunFor(2 * eventsim.Second)
+	meter.Reset()
+	l.sched.RunFor(eventsim.Time(*secs) * eventsim.Second)
+	dr.Stop()
+
+	mw := meter.MeanPowerMW()
+	fmt.Printf("attack rate %.0f fps for %ds: victim draws %.1f mW (%d ACKs forced)\n",
+		*rate, *secs, mw, l.victim.Stats.AcksSent)
+	for _, b := range []power.Battery{power.LogitechCircle2, power.BlinkXT2} {
+		fmt.Printf("  %-28s would last %.1f h\n", b.String(), b.LifetimeHours(mw))
+	}
+}
+
+func cmdSense(args []string) {
+	fs := flag.NewFlagSet("sense", flag.ExitOnError)
+	rate := fs.Float64("rate", 150, "fake frames per second")
+	secs := fs.Int("secs", 45, "capture duration (simulated seconds)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	fs.Parse(args)
+
+	l := newLab(*seed, mac.ProfileGenericClient)
+	rng := eventsim.NewRNG(*seed + 99)
+	scene := csi.NewScene(rng.Fork())
+	tl := csi.Figure5Timeline(rng.Fork())
+	sensor := core.NewCSISensor(l.attacker, victimAddr, scene, tl)
+	series := sensor.RunFor(*rate, eventsim.Time(*secs)*eventsim.Second)
+
+	fmt.Printf("captured %d CSI samples at %.1f Hz (loss %.1f%%)\n",
+		len(series), series.MeanRate(), 100*sensor.LossRate())
+	amp := csi.Hampel(series.Amplitudes(17), 5, 3)
+	times := series.Times()
+	fmt.Println("per-second fluctuation of subcarrier 17 (sliding std / mean):")
+	for sec := 0; sec < *secs; sec++ {
+		var w []float64
+		for i, t := range times {
+			if t >= float64(sec) && t < float64(sec+1) {
+				w = append(w, amp[i])
+			}
+		}
+		if len(w) == 0 {
+			continue
+		}
+		norm := csi.Std(w) / csi.Mean(w)
+		bar := ""
+		for i := 0; i < int(norm*400) && i < 60; i++ {
+			bar += "#"
+		}
+		fmt.Printf("  t=%2ds %-10s %7.4f %s\n", sec, tl.Label(float64(sec)), norm, bar)
+	}
+}
+
+func cmdJam(args []string) {
+	fs := flag.NewFlagSet("jam", flag.ExitOnError)
+	secs := fs.Int("secs", 2, "jam duration (simulated seconds)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	fs.Parse(args)
+
+	l := newLab(*seed, mac.ProfileGenericClient)
+	// Baseline: victim sends one data frame per 10 ms.
+	baselineAcks := func(dur eventsim.Time) uint64 {
+		before := l.victim.Stats.AcksReceived
+		tk := l.sched.Every(10*eventsim.Millisecond, func() {
+			l.victim.SendData(apAddr, []byte("payload"))
+		})
+		l.sched.RunFor(dur)
+		tk.Stop()
+		return l.victim.Stats.AcksReceived - before
+	}
+	clean := baselineAcks(eventsim.Time(*secs) * eventsim.Second)
+
+	j := core.NewVirtualJammer(l.attacker)
+	j.Start()
+	jammed := baselineAcks(eventsim.Time(*secs) * eventsim.Second)
+	j.Stop()
+
+	fmt.Printf("virtual (NAV) jamming with %d fake RTS reservations:\n", j.Sent)
+	fmt.Printf("  victim goodput: %d frames clean vs %d frames jammed\n", clean, jammed)
+	res := core.ProbeSync(l.attacker, victimAddr, core.ProbeNull, 3, 3*eventsim.Millisecond)
+	fmt.Printf("  victim still ACKs fake frames while jammed: %v\n", res.Responded)
+}
+
+func cmdDeauth(args []string) {
+	fs := flag.NewFlagSet("deauth", flag.ExitOnError)
+	pmf := fs.Bool("pmf", false, "victim network uses 802.11w")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	fs.Parse(args)
+
+	sched := eventsim.NewScheduler()
+	rng := eventsim.NewRNG(*seed)
+	medium := radio.NewMedium(sched, rng.Fork(), radio.Config{
+		PathLoss: radio.LogDistance{Exponent: 2.2}, CaptureMarginDB: 10,
+	})
+	mac.New(medium, rng.Fork(), mac.Config{
+		Name: "ap", Addr: apAddr, Role: mac.RoleAP, Profile: mac.ProfileGenericAP,
+		SSID: "HomeNet", Passphrase: "correct horse battery staple", PMF: *pmf,
+		Position: radio.Position{}, Band: phy.Band2GHz, Channel: 6,
+	})
+	victim := mac.New(medium, rng.Fork(), mac.Config{
+		Name: "victim", Addr: victimAddr, Role: mac.RoleClient, Profile: mac.ProfileGenericClient,
+		SSID: "HomeNet", Passphrase: "correct horse battery staple", PMF: *pmf,
+		Position: radio.Position{X: 5}, Band: phy.Band2GHz, Channel: 6,
+	})
+	victim.Associate(apAddr, nil)
+	sched.RunFor(300 * eventsim.Millisecond)
+	attacker := core.NewAttacker(medium, radio.Position{X: 12}, phy.Band2GHz, 6, core.DefaultFakeMAC)
+
+	attacker.InjectDeauth(victimAddr, apAddr)
+	sched.RunFor(50 * eventsim.Millisecond)
+	fmt.Printf("forged deauth against %s (PMF=%v):\n", victimAddr, *pmf)
+	fmt.Printf("  victim still associated: %v\n", victim.Associated())
+	fmt.Printf("  forgeries dropped by 802.11w: %d\n", victim.Stats.ForgedMgmtDropped)
+	fmt.Printf("  victim PHY still ACKed the forgery: %v\n", victim.Stats.AcksSent > 0)
+}
+
+func cmdLocate(args []string) {
+	fs := flag.NewFlagSet("locate", flag.ExitOnError)
+	dist := fs.Float64("dist", 15, "true victim distance in meters")
+	n := fs.Int("n", 20, "number of probes")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	fs.Parse(args)
+
+	sched := eventsim.NewScheduler()
+	rng := eventsim.NewRNG(*seed)
+	medium := radio.NewMedium(sched, rng.Fork(), radio.Config{
+		PathLoss: radio.LogDistance{Exponent: 2.2}, CaptureMarginDB: 10,
+	})
+	mac.New(medium, rng.Fork(), mac.Config{
+		Name: "victim", Addr: victimAddr, Role: mac.RoleClient, Profile: mac.ProfileGenericClient,
+		SSID: "n", Position: radio.Position{X: *dist}, Band: phy.Band2GHz, Channel: 6,
+	})
+	attacker := core.NewAttacker(medium, radio.Position{}, phy.Band2GHz, 6, core.DefaultFakeMAC)
+	res := core.ProbeSync(attacker, victimAddr, core.ProbeNull, *n, 2*eventsim.Millisecond)
+	est := core.RangeFromGaps(phy.Band2GHz, res.Gaps)
+	fmt.Printf("time-of-flight ranging over forced ACKs (Wi-Peep style):\n")
+	fmt.Printf("  probes answered: %d/%d\n", res.Responses, res.Sent)
+	fmt.Printf("  true distance %.1f m → estimated %.1f m (err %.1f m)\n",
+		*dist, est, est-*dist)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

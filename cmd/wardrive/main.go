@@ -1,0 +1,38 @@
+// Command wardrive runs the paper's §3 large-scale study: a simulated
+// city seeded with the exact Table 2 vendor census, scanned by a
+// vehicle-mounted attacker running the discovery/injection/
+// verification pipeline.
+//
+// Usage:
+//
+//	wardrive [-seed N] [-scale F] [-stop-size N] [-dwell MS]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"politewifi/internal/eventsim"
+	"politewifi/internal/experiments"
+	"politewifi/internal/world"
+)
+
+func main() {
+	seed := flag.Int64("seed", 20201104, "simulation seed")
+	scale := flag.Float64("scale", 1.0, "census scale (1.0 = 5,328 devices)")
+	stopSize := flag.Int("stop-size", 4, "households per vehicle stop")
+	dwellMS := flag.Int("dwell", 1200, "per-channel dwell per stop, ms")
+	flag.Parse()
+
+	cfg := world.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	cfg.HouseholdsPerStop = *stopSize
+	cfg.DwellPerChannel = eventsim.Time(*dwellMS) * eventsim.Millisecond
+
+	fmt.Printf("wardriving: scale %.2f, %d households/stop, %d ms/channel dwell\n\n",
+		cfg.Scale, cfg.HouseholdsPerStop, *dwellMS)
+
+	r := experiments.Table2(*seed, *scale)
+	fmt.Print(r.Render())
+}

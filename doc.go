@@ -1,0 +1,15 @@
+// Package politewifi is a full reproduction of "WiFi Says \"Hi!\"
+// Back to Strangers!" (Abedi & Abari, HotNets 2020) as a Go library:
+// an 802.11 PHY/MAC simulator in which the Polite WiFi behaviour —
+// every device acknowledges any frame addressed to it, before any
+// validation — emerges from the standard's timing rules, plus the
+// paper's attacker toolkit, sensing pipeline, power model and
+// large-scale measurement study.
+//
+// Start with README.md for the tour, DESIGN.md for the system
+// inventory and hardware→simulation substitutions, and
+// EXPERIMENTS.md for the paper-vs-measured record. The benchmark
+// harness in bench_test.go regenerates every table and figure:
+//
+//	go test -bench=. -benchmem
+package politewifi

@@ -1,0 +1,3 @@
+module politewifi
+
+go 1.22

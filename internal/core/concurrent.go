@@ -1,0 +1,360 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+	"politewifi/internal/phy"
+	"politewifi/internal/radio"
+	"politewifi/internal/rt"
+)
+
+// ConcurrentScanner is the paper's §3 program with its original
+// concurrency structure: "our implementation contains three threads.
+// The first thread discovers nearby devices by sniffing WiFi traffic
+// ... The second thread sends fake 802.11 frames to the list of
+// target devices. Finally, the third thread checks to verify that
+// target devices respond with an ACK."
+//
+// The three workers are real goroutines connected by channels; the
+// injector is self-clocked by the verifier's verdicts (ACK observed,
+// or a simulated-time timeout), so no wall-clock pacing is needed and
+// runs remain fast. All simulation access is serialised through an
+// rt.Bridge.
+type ConcurrentScanner struct {
+	attacker *Attacker
+	bridge   *rt.Bridge
+
+	// ProbesPerDevice is how many fake frames each silent target gets
+	// before being written off.
+	ProbesPerDevice int
+
+	frameCh   chan frameEvent  // sniffer → discovery worker
+	targetCh  chan dot11.MAC   // discovery → injector
+	eventCh   chan verifyEvent // sim (armed/ack/timeout, in order) → verifier
+	verdictCh chan verdict     // verifier → injector
+
+	mu      sync.Mutex
+	devices map[dot11.MAC]*Device
+}
+
+type frameEvent struct {
+	frame dot11.Frame
+	rx    radio.Reception
+	ch    int
+}
+
+type verdict struct {
+	target dot11.MAC
+	acked  bool
+}
+
+// verifyEvent is the verifier's ordered input. All three kinds are
+// produced under the simulation lock, so channel order equals
+// simulated-time order — which makes ACK-vs-timeout resolution
+// deterministic.
+type verifyEvent struct {
+	kind   verifyKind
+	target dot11.MAC
+}
+
+type verifyKind int
+
+const (
+	evArmed   verifyKind = iota // injector sent a probe
+	evAck                       // an ACK to the spoofed MAC arrived
+	evTimeout                   // the probe's verification window closed
+)
+
+// NewConcurrentScanner wires the pipeline to an attacker. The
+// attacker's medium must only be driven through the bridge from now
+// on.
+func NewConcurrentScanner(a *Attacker, bridge *rt.Bridge) *ConcurrentScanner {
+	s := &ConcurrentScanner{
+		attacker:        a,
+		bridge:          bridge,
+		ProbesPerDevice: 3,
+		frameCh:         make(chan frameEvent, 1024),
+		targetCh:        make(chan dot11.MAC, 256),
+		eventCh:         make(chan verifyEvent, 256),
+		verdictCh:       make(chan verdict, 16),
+		devices:         make(map[dot11.MAC]*Device),
+	}
+	return s
+}
+
+// Run executes the scan for the given amount of simulated time and
+// returns the tally. It blocks the calling goroutine; the three
+// workers and the simulation driver run underneath it.
+func (s *ConcurrentScanner) Run(simDuration eventsim.Time) Tally {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Sniffer tap: runs inside the simulation (under the bridge
+	// lock), so it must never block — drop on overflow like a real
+	// capture ring.
+	s.bridge.Do(func() {
+		s.attacker.OnFrame(func(f dot11.Frame, rx radio.Reception) {
+			ev := frameEvent{frame: f, rx: rx, ch: s.attacker.Radio.Channel()}
+			select {
+			case s.frameCh <- ev:
+			default:
+			}
+		})
+	})
+
+	// The verifier's ACK tap also runs under the simulation lock.
+	s.bridge.Do(func() {
+		s.attacker.OnFrame(func(f dot11.Frame, rx radio.Reception) {
+			if a, ok := f.(*dot11.Ack); ok && a.RA == s.attacker.MAC {
+				s.pushEvent(verifyEvent{kind: evAck})
+			}
+		})
+	})
+
+	wg.Add(3)
+	go s.discoveryWorker(&wg, done)
+	go s.injectorWorker(&wg, done)
+	go s.verifierWorker(&wg, done)
+
+	s.bridge.Drive(eventsim.Millisecond, simDuration)
+	close(done)
+	wg.Wait()
+	return s.tally()
+}
+
+// discoveryWorker (thread 1): sniffs traffic, adds unseen MACs to the
+// target list.
+func (s *ConcurrentScanner) discoveryWorker(wg *sync.WaitGroup, done <-chan struct{}) {
+	defer wg.Done()
+	for {
+		select {
+		case <-done:
+			return
+		case ev := <-s.frameCh:
+			s.discover(ev)
+		}
+	}
+}
+
+func (s *ConcurrentScanner) discover(ev frameEvent) {
+	ta := ev.frame.TransmitterAddress()
+	if ta == dot11.ZeroMAC || ta == s.attacker.MAC || !ta.IsUnicast() {
+		return
+	}
+	kind := KindClient
+	ssid := ""
+	switch ff := ev.frame.(type) {
+	case *dot11.Beacon:
+		kind, ssid = KindAP, ff.SSID()
+	case *dot11.ProbeResp:
+		kind = KindAP
+		ssid, _ = dot11.FindSSID(ff.IEs)
+	case *dot11.Data:
+		if ff.FC.FromDS {
+			kind = KindAP
+		}
+	}
+	s.mu.Lock()
+	d, seen := s.devices[ta]
+	if !seen {
+		d = &Device{MAC: ta, Kind: kind, SSID: ssid, Channel: ev.ch, RSSIDBm: ev.rx.RSSIDBm}
+		s.devices[ta] = d
+	} else if kind == KindAP {
+		d.Kind = KindAP
+		if ssid != "" {
+			d.SSID = ssid
+		}
+	}
+	s.mu.Unlock()
+	if !seen {
+		select {
+		case s.targetCh <- ta:
+		default: // target queue full; the device stays recorded as silent
+		}
+	}
+}
+
+// injectorWorker (thread 2): pulls targets, sends fake frames, and
+// waits for the verifier's verdict before moving on — a self-clocked
+// pipeline with no wall-clock sleeps.
+func (s *ConcurrentScanner) injectorWorker(wg *sync.WaitGroup, done <-chan struct{}) {
+	defer wg.Done()
+	for {
+		select {
+		case <-done:
+			return
+		case target := <-s.targetCh:
+			s.probeTarget(target, done)
+		}
+	}
+}
+
+func (s *ConcurrentScanner) probeTarget(target dot11.MAC, done <-chan struct{}) {
+	for attempt := 0; attempt < s.ProbesPerDevice; attempt++ {
+		// Drain stale verdicts (timeouts that fired after their probe
+		// was already resolved positively).
+		for {
+			select {
+			case <-s.verdictCh:
+				continue
+			default:
+			}
+			break
+		}
+		injected := false
+		s.bridge.Do(func() {
+			if s.attacker.Radio.Transmitting() {
+				return
+			}
+			end, err := s.attacker.InjectNull(target)
+			if err != nil {
+				return
+			}
+			injected = true
+			s.mu.Lock()
+			s.devices[target].Probes++
+			s.mu.Unlock()
+			// Arm the verifier, then schedule the window-close event.
+			// Both flow through eventCh under the sim lock, so the
+			// verifier sees armed → (ack?) → timeout in sim order.
+			tgt := target
+			s.pushEvent(verifyEvent{kind: evArmed, target: tgt})
+			window := s.attacker.Radio.Band().SIFS() +
+				phy.Airtime(phy.ControlRate(s.attacker.Rate), 14) + attributionWindow
+			s.attacker.sched.Schedule(end+window, func() {
+				s.pushEvent(verifyEvent{kind: evTimeout, target: tgt})
+			})
+		})
+		if !injected {
+			// Transmitter busy: yield so the simulation driver can
+			// advance, then retry without consuming the attempt.
+			select {
+			case <-done:
+				return
+			default:
+				runtime.Gosched()
+				attempt--
+				continue
+			}
+		}
+		// Wait for the verifier (or shutdown).
+		select {
+		case <-done:
+			return
+		case v := <-s.verdictCh:
+			if v.acked {
+				s.mu.Lock()
+				d := s.devices[target]
+				d.Acks++
+				d.Responded = true
+				s.mu.Unlock()
+				return
+			}
+		}
+		// Missed: the target may have been mid-transmission. Back off
+		// a few simulated milliseconds before the next attempt.
+		s.simSleep(5*eventsim.Millisecond, done)
+	}
+}
+
+// simSleep blocks the calling worker until the simulation clock has
+// advanced by d (or shutdown).
+func (s *ConcurrentScanner) simSleep(d eventsim.Time, done <-chan struct{}) {
+	wake := make(chan struct{})
+	s.bridge.Do(func() {
+		s.attacker.sched.After(d, func() { close(wake) })
+	})
+	select {
+	case <-wake:
+	case <-done:
+	}
+}
+
+// pushEvent enqueues a verifier event; callers hold the simulation
+// lock, so enqueue order is simulated-time order. Overflow drops the
+// event — the timeout token then resolves the probe negatively, which
+// only costs a retry.
+func (s *ConcurrentScanner) pushEvent(ev verifyEvent) {
+	select {
+	case s.eventCh <- ev:
+	default:
+	}
+}
+
+// verifierWorker (thread 3) is a state machine over the ordered event
+// stream: an armed probe is resolved by whichever of ACK or timeout
+// arrives first in simulated time. The injector sends one probe at a
+// time, so a single open flag suffices.
+func (s *ConcurrentScanner) verifierWorker(wg *sync.WaitGroup, done <-chan struct{}) {
+	defer wg.Done()
+	open := false
+	var target dot11.MAC
+	resolve := func(acked bool) {
+		open = false
+		select {
+		case s.verdictCh <- verdict{target: target, acked: acked}:
+		case <-done:
+		}
+	}
+	for {
+		select {
+		case <-done:
+			return
+		case ev := <-s.eventCh:
+			switch ev.kind {
+			case evArmed:
+				open = true
+				target = ev.target
+			case evAck:
+				if open {
+					resolve(true)
+				}
+			case evTimeout:
+				if open && ev.target == target {
+					resolve(false)
+				}
+			}
+		}
+	}
+}
+
+func (s *ConcurrentScanner) tally() Tally {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t Tally
+	for _, d := range s.devices {
+		t.Total++
+		if d.Responded {
+			t.TotalResponded++
+		}
+		if d.Kind == KindAP {
+			t.APs++
+			if d.Responded {
+				t.APsResponded++
+			} else {
+				t.APsQuiet++
+			}
+		} else {
+			t.Clients++
+			if d.Responded {
+				t.ClientsResponded++
+			}
+		}
+	}
+	return t
+}
+
+// Devices returns a snapshot of the discovered devices.
+func (s *ConcurrentScanner) Devices() []*Device {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Device, 0, len(s.devices))
+	for _, d := range s.devices {
+		cp := *d
+		out = append(out, &cp)
+	}
+	return out
+}

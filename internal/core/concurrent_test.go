@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+	"politewifi/internal/mac"
+	"politewifi/internal/phy"
+	"politewifi/internal/radio"
+	"politewifi/internal/rt"
+)
+
+// TestConcurrentScanner runs the paper's three-goroutine pipeline
+// against a small neighbourhood and expects every device discovered
+// and verified. This test exercises real concurrency: run it with
+// -race.
+func TestConcurrentScanner(t *testing.T) {
+	sched := eventsim.NewScheduler()
+	rng := eventsim.NewRNG(19)
+	m := radio.NewMedium(sched, rng.Fork(), radio.Config{
+		PathLoss: radio.LogDistance{Exponent: 2.2}, CaptureMarginDB: 10,
+	})
+	var aps []dot11.MAC
+	for i := 0; i < 3; i++ {
+		apMAC := dot11.MustMAC("f2:6e:0b:00:0" + string(rune('0'+i)) + ":01")
+		clMAC := dot11.MustMAC("ec:fa:bc:00:0" + string(rune('0'+i)) + ":02")
+		pos := radio.Position{X: float64(i) * 20}
+		mac.New(m, rng.Fork(), mac.Config{
+			Name: "ap", Addr: apMAC, Role: mac.RoleAP, Profile: mac.ProfileGenericAP,
+			SSID: "h", Position: pos, Band: phy.Band2GHz, Channel: 6,
+		})
+		cl := mac.New(m, rng.Fork(), mac.Config{
+			Name: "cl", Addr: clMAC, Role: mac.RoleClient, Profile: mac.ProfileGenericClient,
+			SSID: "h", Position: radio.Position{X: pos.X + 3}, Band: phy.Band2GHz, Channel: 6,
+		})
+		cl.Associate(apMAC, nil)
+
+		sched.Every(150*eventsim.Millisecond, func() {
+			if cl.Associated() {
+				cl.SendData(apMAC, []byte("chatter"))
+			}
+		})
+		aps = append(aps, apMAC)
+	}
+	attacker := NewAttacker(m, radio.Position{X: 20, Y: 10}, phy.Band2GHz, 6, DefaultFakeMAC)
+
+	bridge := rt.NewBridge(sched)
+	cs := NewConcurrentScanner(attacker, bridge)
+	tally := cs.Run(4 * eventsim.Second)
+
+	if tally.Total < 6 {
+		t.Fatalf("discovered %d devices, want 6", tally.Total)
+	}
+	if tally.TotalResponded != tally.Total {
+		t.Fatalf("responded %d of %d: %+v", tally.TotalResponded, tally.Total, cs.Devices())
+	}
+	if tally.APs < 3 || tally.Clients < 3 {
+		t.Fatalf("tally = %+v", tally)
+	}
+	_ = aps
+}
+
+// TestBridgeDoSerialises hammers the bridge from several goroutines
+// while it drives; -race validates mutual exclusion.
+func TestBridgeDoSerialises(t *testing.T) {
+	sched := eventsim.NewScheduler()
+	bridge := rt.NewBridge(sched)
+	counter := 0
+	doneCh := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				bridge.Do(func() { counter++ })
+			}
+			doneCh <- struct{}{}
+		}()
+	}
+	bridge.Drive(eventsim.Millisecond, 100*eventsim.Millisecond)
+	for g := 0; g < 4; g++ {
+		<-doneCh
+	}
+	bridge.Do(func() {
+		if counter != 800 {
+			t.Errorf("counter = %d, want 800", counter)
+		}
+	})
+	if bridge.Now() < 100*eventsim.Millisecond {
+		t.Fatal("Drive did not advance virtual time")
+	}
+}

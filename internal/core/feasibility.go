@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"politewifi/internal/crypto80211"
+	"politewifi/internal/phy"
+)
+
+// FeasibilityRow is one line of the §2.2 analysis: can this decode
+// profile validate a frame before the band's ACK deadline?
+type FeasibilityRow struct {
+	Band    phy.Band
+	Profile string
+	crypto80211.SIFSFeasibility
+}
+
+// FeasibilityStudy evaluates every (band, decode-profile) pair for a
+// typical frame, quantifying why Polite WiFi is unpreventable: the
+// decode-to-SIFS ratio is 20–70×.
+func FeasibilityStudy(payloadLen int) []FeasibilityRow {
+	profiles := []struct {
+		name string
+		p    crypto80211.DecodeProfile
+	}{
+		{"fast (flagship phone)", crypto80211.FastDecoder},
+		{"typical (laptop/AP)", crypto80211.TypicalDecoder},
+		{"slow (IoT MCU)", crypto80211.SlowDecoder},
+	}
+	var rows []FeasibilityRow
+	for _, band := range []phy.Band{phy.Band2GHz, phy.Band5GHz} {
+		for _, pr := range profiles {
+			rows = append(rows, FeasibilityRow{
+				Band:            band,
+				Profile:         pr.name,
+				SIFSFeasibility: crypto80211.CheckSIFS(band, pr.p, payloadLen),
+			})
+		}
+	}
+	return rows
+}
+
+// RenderFeasibility formats the study as the experiment harness
+// prints it.
+func RenderFeasibility(rows []FeasibilityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-24s %10s %12s %8s %s\n",
+		"Band", "Decoder", "SIFS", "Decode", "Ratio", "Meets deadline?")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-24s %9.0fµs %11.0fµs %7.1fx %v\n",
+			r.Band, r.Profile, r.SIFS.Micros(), r.Decode.Micros(), r.Ratio, r.MeetsSIFS)
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+)
+
+// VirtualJammer is an extension threat enabled by the same property
+// that makes Polite WiFi unpreventable: control frames cannot be
+// protected, so anyone can reserve the channel. The jammer repeats
+// maximum-duration fake RTS frames; every honest station honours the
+// Duration field (virtual carrier sense) and defers its own
+// transmissions, collapsing goodput — while, tellingly, still
+// acknowledging the attacker's fake frames, since SIFS responses
+// bypass the NAV.
+type VirtualJammer struct {
+	attacker *Attacker
+	// Target is the RA written into the RTS frames. It does not need
+	// to exist: the reservation works on every overhearer.
+	Target dot11.MAC
+	// DurationUS is the Duration value per RTS (max 32767).
+	DurationUS uint16
+
+	ticker *eventsim.Ticker
+	Sent   uint64
+}
+
+// NewVirtualJammer creates a jammer on the attacker radio.
+func NewVirtualJammer(a *Attacker) *VirtualJammer {
+	return &VirtualJammer{
+		attacker:   a,
+		Target:     dot11.MustMAC("00:00:5e:00:53:ff"), // nonexistent
+		DurationUS: 32767,
+	}
+}
+
+// Start repeats the reservation so the NAV never expires: one RTS per
+// period, where the period is slightly below the advertised duration.
+func (j *VirtualJammer) Start() {
+	period := eventsim.Time(j.DurationUS) * eventsim.Microsecond * 9 / 10
+	fire := func() {
+		rts := &dot11.RTS{RA: j.Target, TA: j.attacker.MAC, Duration: j.DurationUS}
+		if _, err := j.attacker.Inject(rts); err == nil {
+			j.Sent++
+		}
+	}
+	fire()
+	j.ticker = j.attacker.sched.Every(period, fire)
+}
+
+// Stop ends the attack; reservations already announced expire on
+// their own.
+func (j *VirtualJammer) Stop() {
+	if j.ticker != nil {
+		j.ticker.Stop()
+		j.ticker = nil
+	}
+}

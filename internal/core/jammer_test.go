@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"politewifi/internal/eventsim"
+)
+
+func TestVirtualJammer(t *testing.T) {
+	w := newWorld(t)
+	j := NewVirtualJammer(w.attacker)
+	j.Start()
+	w.sched.RunFor(200 * eventsim.Millisecond)
+	if j.Sent < 5 {
+		t.Fatalf("jammer sent only %d reservations", j.Sent)
+	}
+	if !w.client.NAVBusy() || !w.ap.NAVBusy() {
+		t.Fatal("stations not pinned by the jammer's NAV")
+	}
+
+	// The victim cannot transmit...
+	acksBefore := w.client.Stats.AcksReceived
+	w.client.SendData(apAddr, []byte("blocked"))
+	w.sched.RunFor(100 * eventsim.Millisecond)
+	if w.client.Stats.AcksReceived != acksBefore {
+		t.Fatal("victim transmitted through the jam")
+	}
+	// ...but still politely ACKs the attacker's fake frames.
+	res := ProbeSync(w.attacker, clientAddr, ProbeNull, 3, 5*eventsim.Millisecond)
+	if !res.Responded {
+		t.Fatal("jammed victim stopped ACKing — NAV must not gate SIFS responses")
+	}
+
+	j.Stop()
+	// Reservations expire; the queued frame eventually flows.
+	w.sched.RunFor(300 * eventsim.Millisecond)
+	if w.client.NAVBusy() {
+		t.Fatal("NAV still armed long after Stop")
+	}
+	if w.client.Stats.AcksReceived == acksBefore {
+		t.Fatal("queued frame never delivered after the jam ended")
+	}
+}

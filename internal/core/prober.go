@@ -1,0 +1,206 @@
+package core
+
+import (
+	"sort"
+
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+	"politewifi/internal/phy"
+	"politewifi/internal/radio"
+)
+
+// ProbeMode selects the fake frame type used to solicit a response.
+type ProbeMode int
+
+// Probe modes.
+const (
+	// ProbeNull injects fake null data frames and counts ACKs (the
+	// paper's default experiment).
+	ProbeNull ProbeMode = iota
+	// ProbeRTS injects fake RTS frames and counts CTS responses.
+	ProbeRTS
+)
+
+// String implements fmt.Stringer.
+func (m ProbeMode) String() string {
+	if m == ProbeRTS {
+		return "rts/cts"
+	}
+	return "null/ack"
+}
+
+// ProbeResult reports the outcome of probing one target.
+type ProbeResult struct {
+	Target    dot11.MAC
+	Mode      ProbeMode
+	Sent      int
+	Responses int
+	// Responded is true if at least one response attributable to this
+	// probe arrived (the Polite WiFi verdict for the device).
+	Responded bool
+	// FirstGap is the observed gap between the end of the first
+	// answered probe and the start of its response — one SIFS plus
+	// the round-trip propagation, when the behaviour is present.
+	FirstGap eventsim.Time
+	// Gaps collects the frame-end→response-start gap of every
+	// answered probe; time-of-flight ranging feeds on these.
+	Gaps []eventsim.Time
+}
+
+// ResponseRate reports the fraction of probes answered.
+func (r ProbeResult) ResponseRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Responses) / float64(r.Sent)
+}
+
+// Prober sends a burst of fake frames to one target and attributes
+// responses by timing, exactly as the paper's verifier thread does:
+// an ACK/CTS addressed to the spoofed MAC that starts ~SIFS after one
+// of our frames ended belongs to that frame.
+type Prober struct {
+	attacker *Attacker
+	mode     ProbeMode
+
+	res        ProbeResult
+	lastEnd    eventsim.Time
+	awaiting   bool
+	onComplete func(ProbeResult)
+	remaining  int
+	interval   eventsim.Time
+	stopped    bool
+}
+
+// attributionWindow is the slack around the expected SIFS response
+// start (propagation plus scheduling jitter).
+const attributionWindow = 25 * eventsim.Microsecond
+
+// NewProber creates a prober on the attacker.
+func NewProber(a *Attacker, mode ProbeMode) *Prober {
+	p := &Prober{attacker: a, mode: mode}
+	a.OnFrame(p.onFrame)
+	return p
+}
+
+// Run probes the target n times at the given interval and calls done
+// with the result. The scheduler must be driven by the caller.
+func (p *Prober) Run(target dot11.MAC, n int, interval eventsim.Time, done func(ProbeResult)) {
+	p.res = ProbeResult{Target: target, Mode: p.mode}
+	p.remaining = n
+	p.interval = interval
+	p.onComplete = done
+	p.stopped = false
+	p.step()
+}
+
+// Stop aborts an in-flight run (the completion callback still fires).
+func (p *Prober) Stop() { p.stopped = true }
+
+func (p *Prober) step() {
+	if p.stopped || p.remaining == 0 {
+		p.finish()
+		return
+	}
+	p.remaining--
+	var end eventsim.Time
+	var err error
+	switch p.mode {
+	case ProbeRTS:
+		end, err = p.attacker.InjectRTS(p.res.Target)
+	default:
+		end, err = p.attacker.InjectNull(p.res.Target)
+	}
+	if err == nil {
+		p.res.Sent++
+		p.lastEnd = end
+		p.awaiting = true
+		// Close the attribution window after SIFS + response airtime +
+		// slack, then move on.
+		window := p.attacker.Radio.Band().SIFS() +
+			phy.Airtime(phy.ControlRate(p.attacker.Rate), 14) + attributionWindow
+		p.attacker.sched.Schedule(end+window, func() { p.awaiting = false })
+	}
+	p.attacker.sched.After(p.interval, p.step)
+}
+
+func (p *Prober) finish() {
+	if done := p.onComplete; done != nil {
+		p.onComplete = nil
+		done(p.res)
+	}
+}
+
+// onFrame implements the timing-based response attribution.
+func (p *Prober) onFrame(f dot11.Frame, rx radio.Reception) {
+	if !p.awaiting {
+		return
+	}
+	expected := p.lastEnd + p.attacker.Radio.Band().SIFS()
+	if rx.Start < expected-eventsim.Microsecond || rx.Start > expected+attributionWindow {
+		return
+	}
+	match := false
+	switch ff := f.(type) {
+	case *dot11.Ack:
+		match = p.mode == ProbeNull && ff.RA == p.attacker.MAC
+	case *dot11.CTS:
+		match = p.mode == ProbeRTS && ff.RA == p.attacker.MAC
+	}
+	if !match {
+		return
+	}
+	p.awaiting = false
+	p.res.Responses++
+	gap := rx.Start - p.lastEnd
+	p.res.Gaps = append(p.res.Gaps, gap)
+	if !p.res.Responded {
+		p.res.Responded = true
+		p.res.FirstGap = gap
+	}
+}
+
+// speedOfLight in m/s, for time-of-flight ranging.
+const speedOfLight = 299_792_458.0
+
+// RangeFromGaps implements Wi-Peep-style time-of-flight ranging over
+// Polite WiFi: the victim's ACK leaves exactly one SIFS after the
+// fake frame arrives, so the observed gap is SIFS + 2·d/c. The SIFS
+// is a standard constant, leaving the distance:
+//
+//	d = (gap − SIFS) · c / 2
+//
+// The median over a probe burst suppresses scheduling jitter.
+func RangeFromGaps(band phy.Band, gaps []eventsim.Time) float64 {
+	if len(gaps) == 0 {
+		return 0
+	}
+	sorted := append([]eventsim.Time(nil), gaps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	gap := sorted[len(sorted)/2]
+	tof := gap - band.SIFS()
+	if tof < 0 {
+		return 0
+	}
+	return tof.Seconds() * speedOfLight / 2
+}
+
+// ProbeSync is a convenience that runs the scheduler until the probe
+// completes and returns the result.
+func ProbeSync(a *Attacker, target dot11.MAC, mode ProbeMode, n int, interval eventsim.Time) ProbeResult {
+	var out ProbeResult
+	doneAt := eventsim.Time(0)
+	p := NewProber(a, mode)
+	p.Run(target, n, interval, func(r ProbeResult) {
+		out = r
+		doneAt = a.sched.Now()
+	})
+	// Drive until completion (bounded by n·interval plus slack).
+	deadline := a.sched.Now() + eventsim.Time(n+2)*interval + 10*eventsim.Millisecond
+	for doneAt == 0 && a.sched.Now() < deadline {
+		if !a.sched.Step() {
+			break
+		}
+	}
+	return out
+}

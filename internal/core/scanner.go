@@ -1,0 +1,296 @@
+package core
+
+import (
+	"sort"
+
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+	"politewifi/internal/phy"
+	"politewifi/internal/radio"
+)
+
+// DeviceKind classifies a discovered device.
+type DeviceKind int
+
+// Device kinds.
+const (
+	KindClient DeviceKind = iota
+	KindAP
+)
+
+// String implements fmt.Stringer.
+func (k DeviceKind) String() string {
+	if k == KindAP {
+		return "AP"
+	}
+	return "client"
+}
+
+// Device is one entry in the scanner's target list.
+type Device struct {
+	MAC        dot11.MAC
+	Kind       DeviceKind
+	SSID       string   // for APs
+	Band       phy.Band // band the device was heard on
+	Channel    int      // channel the device was heard on
+	Discovered eventsim.Time
+	RSSIDBm    float64
+	Probes     int
+	Acks       int
+	Responded  bool
+}
+
+// Scanner implements the paper's §3 wardriving program. The original
+// is a three-OS-thread Scapy program; here the three workers are
+// cooperatively scheduled on the simulation event loop with the same
+// queue structure (documented substitution — OS threads would break
+// determinism against a virtual clock):
+//
+//	discovery worker — sniffs all traffic, adds unseen MACs to the
+//	                   target list;
+//	injector worker  — round-robins fake null frames over targets
+//	                   that still need probes;
+//	verifier worker  — attributes ACKs back to probes by SIFS timing
+//	                   and marks devices as responders.
+type Scanner struct {
+	attacker *Attacker
+
+	// ProbesPerDevice is how many fake frames each target gets.
+	ProbesPerDevice int
+	// ProbeInterval is the injector worker's cadence.
+	ProbeInterval eventsim.Time
+	// ActiveScanInterval, when positive, makes the discovery worker
+	// transmit broadcast probe requests so APs reveal themselves
+	// faster than their beacon cadence (standard active wardriving).
+	ActiveScanInterval eventsim.Time
+
+	devices map[dot11.MAC]*Device
+	queue   []dot11.MAC // devices still owed probes
+
+	lastTarget dot11.MAC
+	lastEnd    eventsim.Time
+	awaiting   bool
+
+	ticker       *eventsim.Ticker
+	activeTicker *eventsim.Ticker
+}
+
+// NewScanner builds a scanner around an attacker radio and installs
+// the discovery and verifier workers.
+func NewScanner(a *Attacker) *Scanner {
+	s := &Scanner{
+		attacker:        a,
+		ProbesPerDevice: 3,
+		ProbeInterval:   2 * eventsim.Millisecond,
+		devices:         make(map[dot11.MAC]*Device),
+	}
+	a.OnFrame(s.onFrame) // discovery + verification
+	return s
+}
+
+// Start launches the injector worker (and the active scanner when
+// configured).
+func (s *Scanner) Start() {
+	if s.ticker != nil {
+		return
+	}
+	s.ticker = s.attacker.sched.Every(s.ProbeInterval, s.injectorStep)
+	if s.ActiveScanInterval > 0 {
+		s.activeTicker = s.attacker.sched.Every(s.ActiveScanInterval, s.sendProbeRequest)
+	}
+}
+
+// sendProbeRequest broadcasts a wildcard probe request.
+func (s *Scanner) sendProbeRequest() {
+	if s.attacker.Radio.Transmitting() {
+		return
+	}
+	s.attacker.Inject(&dot11.ProbeReq{
+		Header: dot11.Header{
+			Addr1: dot11.Broadcast, Addr2: s.attacker.MAC, Addr3: dot11.Broadcast,
+		},
+		IEs: []dot11.IE{dot11.SSIDElement("")},
+	})
+}
+
+// Stop halts the workers.
+func (s *Scanner) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+	if s.activeTicker != nil {
+		s.activeTicker.Stop()
+		s.activeTicker = nil
+	}
+}
+
+// onFrame is the discovery worker plus the verifier worker.
+func (s *Scanner) onFrame(f dot11.Frame, rx radio.Reception) {
+	s.verify(f, rx)
+	s.discover(f, rx)
+}
+
+// discover adds unseen transmitter addresses to the target list.
+// Beacon and probe-response senders are APs; other unicast
+// transmitters are clients.
+func (s *Scanner) discover(f dot11.Frame, rx radio.Reception) {
+	ta := f.TransmitterAddress()
+	if ta == dot11.ZeroMAC || ta == s.attacker.MAC || !ta.IsUnicast() {
+		return
+	}
+	kind := KindClient
+	ssid := ""
+	switch ff := f.(type) {
+	case *dot11.Beacon:
+		kind = KindAP
+		ssid = ff.SSID()
+	case *dot11.ProbeResp:
+		kind = KindAP
+		ssid, _ = dot11.FindSSID(ff.IEs)
+	case *dot11.Data:
+		if ff.FC.FromDS {
+			kind = KindAP
+		}
+	case *dot11.Ack, *dot11.CTS:
+		// No TA on these; unreachable, but keep the switch exhaustive.
+		return
+	}
+	d, seen := s.devices[ta]
+	if !seen {
+		d = &Device{
+			MAC:        ta,
+			Kind:       kind,
+			SSID:       ssid,
+			Band:       s.attacker.Radio.Band(),
+			Channel:    s.attacker.Radio.Channel(),
+			Discovered: s.attacker.sched.Now(),
+			RSSIDBm:    rx.RSSIDBm,
+		}
+		s.devices[ta] = d
+		s.queue = append(s.queue, ta)
+		return
+	}
+	// Upgrade classification if we later see AP-proof.
+	if kind == KindAP && d.Kind != KindAP {
+		d.Kind = KindAP
+	}
+	if ssid != "" {
+		d.SSID = ssid
+	}
+}
+
+// injectorStep sends the next fake frame to the first queued target
+// audible on the attacker's current channel. Targets discovered on
+// other channels stay queued until the radio hops back.
+func (s *Scanner) injectorStep() {
+	band := s.attacker.Radio.Band()
+	ch := s.attacker.Radio.Channel()
+	for i := 0; i < len(s.queue); i++ {
+		mac := s.queue[i]
+		d := s.devices[mac]
+		if d.Probes >= s.ProbesPerDevice || d.Responded {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			i--
+			continue
+		}
+		if d.Band != band || d.Channel != ch {
+			continue
+		}
+		if s.attacker.Radio.Transmitting() {
+			return // try again next tick
+		}
+		end, err := s.attacker.InjectNull(mac)
+		if err != nil {
+			return
+		}
+		d.Probes++
+		s.lastTarget = mac
+		s.lastEnd = end
+		s.awaiting = true
+		window := s.attacker.Radio.Band().SIFS() +
+			phy.Airtime(phy.ControlRate(s.attacker.Rate), 14) + attributionWindow
+		s.attacker.sched.Schedule(end+window, func() { s.awaiting = false })
+		return
+	}
+}
+
+// verify attributes SIFS-timed ACKs to the last probe.
+func (s *Scanner) verify(f dot11.Frame, rx radio.Reception) {
+	if !s.awaiting {
+		return
+	}
+	ack, ok := f.(*dot11.Ack)
+	if !ok || ack.RA != s.attacker.MAC {
+		return
+	}
+	expected := s.lastEnd + s.attacker.Radio.Band().SIFS()
+	if rx.Start < expected-eventsim.Microsecond || rx.Start > expected+attributionWindow {
+		return
+	}
+	s.awaiting = false
+	if d, ok := s.devices[s.lastTarget]; ok {
+		d.Acks++
+		d.Responded = true
+	}
+}
+
+// Devices returns all discovered devices sorted by discovery time.
+func (s *Scanner) Devices() []*Device {
+	out := make([]*Device, 0, len(s.devices))
+	for _, d := range s.devices {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Discovered != out[j].Discovered {
+			return out[i].Discovered < out[j].Discovered
+		}
+		return out[i].MAC.String() < out[j].MAC.String()
+	})
+	return out
+}
+
+// Pending reports how many discovered devices still owe probes.
+func (s *Scanner) Pending() int {
+	n := 0
+	for _, d := range s.devices {
+		if !d.Responded && d.Probes < s.ProbesPerDevice {
+			n++
+		}
+	}
+	return n
+}
+
+// Tally summarises the scan.
+type Tally struct {
+	Clients, APs               int
+	ClientsResponded, APsQuiet int
+	APsResponded               int
+	Total, TotalResponded      int
+}
+
+// Tally computes the scan summary.
+func (s *Scanner) Tally() Tally {
+	var t Tally
+	for _, d := range s.devices {
+		t.Total++
+		if d.Responded {
+			t.TotalResponded++
+		}
+		switch d.Kind {
+		case KindAP:
+			t.APs++
+			if d.Responded {
+				t.APsResponded++
+			} else {
+				t.APsQuiet++
+			}
+		default:
+			t.Clients++
+			if d.Responded {
+				t.ClientsResponded++
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"politewifi/internal/csi"
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+	"politewifi/internal/phy"
+	"politewifi/internal/radio"
+)
+
+// CSISensor implements the §4.1/§4.3 sensing attack/opportunity: it
+// injects fake frames at a target rate and extracts one CSI sample
+// per ACK the victim is compelled to transmit. The victim needs no
+// software modification, no shared network, not even an association
+// to any AP.
+//
+// The radio simulator delivers the ACK; the physical channel the ACK
+// traversed is modelled by a csi.Scene driven by a csi.Timeline of
+// human activity. One CSI sample is taken per *received* ACK, so the
+// series inherits the true sampling process (lost ACKs → missing
+// samples), exactly like the ESP32 receiver in the paper.
+type CSISensor struct {
+	attacker *Attacker
+	target   dot11.MAC
+
+	Scene    *csi.Scene
+	Timeline *csi.Timeline
+
+	Series csi.Series
+
+	t0       eventsim.Time
+	lastEnd  eventsim.Time
+	awaiting bool
+	ticker   *eventsim.Ticker
+	Sent     uint64
+}
+
+// NewCSISensor aims a sensing attacker at the target device through
+// the given scene/timeline.
+func NewCSISensor(a *Attacker, target dot11.MAC, scene *csi.Scene, tl *csi.Timeline) *CSISensor {
+	s := &CSISensor{attacker: a, target: target, Scene: scene, Timeline: tl}
+	a.OnFrame(s.onFrame)
+	return s
+}
+
+// Start injects at rateHz (the paper uses 150 frames/s) and samples
+// CSI from each attributed ACK. Time zero of the activity timeline is
+// the moment Start is called.
+func (s *CSISensor) Start(rateHz float64) {
+	s.t0 = s.attacker.sched.Now()
+	interval := eventsim.Time(float64(eventsim.Second) / rateHz)
+	s.ticker = s.attacker.sched.Every(interval, func() { s.try(3) })
+}
+
+// try injects one probe, deferring on a busy medium like a real
+// injector's carrier sense.
+func (s *CSISensor) try(retries int) {
+	if s.attacker.Radio.CCABusy() || s.attacker.Radio.Transmitting() {
+		if retries > 0 {
+			s.attacker.sched.After(300*eventsim.Microsecond, func() { s.try(retries - 1) })
+		}
+		return
+	}
+	end, err := s.attacker.InjectNull(s.target)
+	if err != nil {
+		return
+	}
+	s.Sent++
+	s.lastEnd = end
+	s.awaiting = true
+	window := s.attacker.Radio.Band().SIFS() +
+		phy.Airtime(phy.ControlRate(s.attacker.Rate), 14) + attributionWindow
+	s.attacker.sched.Schedule(end+window, func() { s.awaiting = false })
+}
+
+// Stop halts injection.
+func (s *CSISensor) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+// RunFor performs a complete capture of the given duration.
+func (s *CSISensor) RunFor(rateHz float64, duration eventsim.Time) csi.Series {
+	s.Start(rateHz)
+	s.attacker.sched.RunFor(duration)
+	s.Stop()
+	return s.Series
+}
+
+func (s *CSISensor) onFrame(f dot11.Frame, rx radio.Reception) {
+	if !s.awaiting {
+		return
+	}
+	ack, ok := f.(*dot11.Ack)
+	if !ok || ack.RA != s.attacker.MAC {
+		return
+	}
+	expected := s.lastEnd + s.attacker.Radio.Band().SIFS()
+	if rx.Start < expected-eventsim.Microsecond || rx.Start > expected+attributionWindow {
+		return
+	}
+	s.awaiting = false
+	t := (s.attacker.sched.Now() - s.t0).Seconds()
+	s.Series = append(s.Series, s.Scene.MeasureAt(s.Timeline, t))
+}
+
+// LossRate reports the fraction of injected frames that produced no
+// CSI sample (victim asleep, collision, or channel loss).
+func (s *CSISensor) LossRate() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return 1 - float64(len(s.Series))/float64(s.Sent)
+}

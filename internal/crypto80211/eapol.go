@@ -1,0 +1,109 @@
+package crypto80211
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The 4-way handshake (802.11-2016 §12.7.6), carried in EAPOL-Key
+// frames over unencrypted data frames:
+//
+//	M1  AP → STA   ANonce
+//	M2  STA → AP   SNonce, MIC(KCK)
+//	M3  AP → STA   install, MIC(KCK)
+//	M4  STA → AP   MIC(KCK)
+//
+// Both sides derive PTK = PRF-384(PMK, AA, SPA, ANonce, SNonce); the
+// key confirmation key (KCK, PTK[0:16]) authenticates M2–M4 and the
+// temporal key (PTK[32:48]) keys CCMP. The key descriptor here is a
+// compact subset of the real one (no GTK distribution, no key-info
+// bitfield beyond the message number) — the cryptography is the real
+// thing, which is what the experiments need: an attacker without the
+// PMK cannot produce a MIC that verifies.
+
+// EAPOLEtherType marks a data-frame payload as an EAPOL-Key message.
+var EAPOLEtherType = []byte{0x88, 0x8e}
+
+// NonceLen32 is the handshake nonce length.
+const NonceLen32 = 32
+
+// EAPOLMICLen is the HMAC-SHA1-128 MIC length.
+const EAPOLMICLen = 16
+
+// EAPOLKey is the simplified key descriptor.
+type EAPOLKey struct {
+	MsgNum        uint8 // 1..4
+	ReplayCounter uint64
+	Nonce         [NonceLen32]byte
+	MIC           [EAPOLMICLen]byte
+}
+
+// eapolWireLen is the marshalled length.
+const eapolWireLen = 2 + 1 + 8 + NonceLen32 + EAPOLMICLen
+
+// Marshal encodes the message.
+func (k *EAPOLKey) Marshal() []byte {
+	out := make([]byte, eapolWireLen)
+	copy(out, EAPOLEtherType)
+	out[2] = k.MsgNum
+	binary.BigEndian.PutUint64(out[3:], k.ReplayCounter)
+	copy(out[11:], k.Nonce[:])
+	copy(out[11+NonceLen32:], k.MIC[:])
+	return out
+}
+
+// IsEAPOL reports whether a data payload carries an EAPOL-Key frame.
+func IsEAPOL(payload []byte) bool {
+	return len(payload) >= 2 && bytes.Equal(payload[:2], EAPOLEtherType)
+}
+
+// ErrEAPOL is returned for malformed or unauthentic handshake
+// messages.
+var ErrEAPOL = errors.New("crypto80211: invalid EAPOL-Key message")
+
+// ParseEAPOLKey decodes a key message.
+func ParseEAPOLKey(payload []byte) (*EAPOLKey, error) {
+	if len(payload) != eapolWireLen || !IsEAPOL(payload) {
+		return nil, ErrEAPOL
+	}
+	k := &EAPOLKey{
+		MsgNum:        payload[2],
+		ReplayCounter: binary.BigEndian.Uint64(payload[3:]),
+	}
+	copy(k.Nonce[:], payload[11:])
+	copy(k.MIC[:], payload[11+NonceLen32:])
+	if k.MsgNum < 1 || k.MsgNum > 4 {
+		return nil, fmt.Errorf("%w: message %d", ErrEAPOL, k.MsgNum)
+	}
+	return k, nil
+}
+
+// computeMIC computes HMAC-SHA1-128 over the message with its MIC
+// field zeroed, keyed by the KCK.
+func computeMIC(kck []byte, k *EAPOLKey) [EAPOLMICLen]byte {
+	cp := *k
+	cp.MIC = [EAPOLMICLen]byte{}
+	h := hmac.New(sha1.New, kck)
+	h.Write(cp.Marshal())
+	var mic [EAPOLMICLen]byte
+	copy(mic[:], h.Sum(nil))
+	return mic
+}
+
+// Sign fills in the message MIC under the key confirmation key.
+func (k *EAPOLKey) Sign(kck []byte) {
+	k.MIC = computeMIC(kck, k)
+}
+
+// Verify checks the message MIC.
+func (k *EAPOLKey) Verify(kck []byte) bool {
+	want := computeMIC(kck, k)
+	return hmac.Equal(want[:], k.MIC[:])
+}
+
+// KCKFromPTK extracts the 16-byte key confirmation key.
+func KCKFromPTK(ptk []byte) []byte { return ptk[0:16] }

@@ -1,0 +1,102 @@
+package crypto80211
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha1"
+	"encoding/binary"
+
+	"politewifi/internal/dot11"
+)
+
+// PBKDF2 derives keyLen bytes from the password and salt using
+// HMAC-SHA1, as WPA2 does for the pairwise master key
+// (PMK = PBKDF2(passphrase, ssid, 4096, 32)).
+func PBKDF2(password, salt []byte, iter, keyLen int) []byte {
+	prf := func(data []byte) []byte {
+		h := hmac.New(sha1.New, password)
+		h.Write(data)
+		return h.Sum(nil)
+	}
+	hLen := sha1.Size
+	numBlocks := (keyLen + hLen - 1) / hLen
+	var dk []byte
+	for block := 1; block <= numBlocks; block++ {
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], uint32(block))
+		u := prf(append(append([]byte(nil), salt...), idx[:]...))
+		t := append([]byte(nil), u...)
+		for i := 1; i < iter; i++ {
+			u = prf(u)
+			for j := range t {
+				t[j] ^= u[j]
+			}
+		}
+		dk = append(dk, t...)
+	}
+	return dk[:keyLen]
+}
+
+// PMK derives the pairwise master key from a WPA2-Personal
+// passphrase and SSID.
+func PMK(passphrase, ssid string) []byte {
+	return PBKDF2([]byte(passphrase), []byte(ssid), 4096, 32)
+}
+
+// PRF implements the IEEE 802.11 PRF-n (HMAC-SHA1 based) used for
+// pairwise key expansion. label is a NUL-terminated application
+// label; n is the number of output bytes.
+func PRF(key []byte, label string, data []byte, n int) []byte {
+	var out []byte
+	for i := byte(0); len(out) < n; i++ {
+		h := hmac.New(sha1.New, key)
+		h.Write([]byte(label))
+		h.Write([]byte{0})
+		h.Write(data)
+		h.Write([]byte{i})
+		out = h.Sum(out)
+	}
+	return out[:n]
+}
+
+// PTK derives the 48-byte pairwise transient key (KCK||KEK||TK) from
+// the PMK, the two MAC addresses, and the two handshake nonces.
+func PTK(pmk []byte, aa, spa dot11.MAC, anonce, snonce []byte) []byte {
+	minMAC, maxMAC := aa, spa
+	if bytes.Compare(spa[:], aa[:]) < 0 {
+		minMAC, maxMAC = spa, aa
+	}
+	minN, maxN := anonce, snonce
+	if bytes.Compare(snonce, anonce) < 0 {
+		minN, maxN = snonce, anonce
+	}
+	data := make([]byte, 0, 12+len(minN)+len(maxN))
+	data = append(data, minMAC[:]...)
+	data = append(data, maxMAC[:]...)
+	data = append(data, minN...)
+	data = append(data, maxN...)
+	return PRF(pmk, "Pairwise key expansion", data, 48)
+}
+
+// TKFromPTK extracts the 16-byte temporal key (bytes 32..48) used by
+// CCMP from a 48-byte PTK.
+func TKFromPTK(ptk []byte) []byte { return ptk[32:48] }
+
+// Handshake performs the simulator's condensed 4-way handshake: given
+// a shared PMK, the authenticator and supplicant addresses, and two
+// nonces, both sides arrive at the same CCMP session keys. It returns
+// one Session per direction seeded with the same TK, mirroring how a
+// real PTK protects both directions of the link.
+func Handshake(pmk []byte, ap, sta dot11.MAC, anonce, snonce []byte) (apSess, staSess *Session, err error) {
+	ptk := PTK(pmk, ap, sta, anonce, snonce)
+	tk := TKFromPTK(ptk)
+	apSess, err = NewSession(tk)
+	if err != nil {
+		return nil, nil, err
+	}
+	staSess, err = NewSession(tk)
+	if err != nil {
+		return nil, nil, err
+	}
+	return apSess, staSess, nil
+}

@@ -1,0 +1,285 @@
+package csi
+
+import (
+	"math"
+
+	"politewifi/internal/eventsim"
+)
+
+// Activity produces the physical state of the victim device and any
+// body scatterers as a function of local activity time. All
+// activities are deterministic functions of time (noise comes from
+// fixed-phase incommensurate sinusoids seeded at construction), so a
+// replay reproduces the same CSI series exactly.
+type Activity interface {
+	Name() string
+	State(t float64) State
+}
+
+// wobble is a deterministic pseudo-random smooth signal: the sum of
+// three incommensurate sinusoids with instance-specific phases.
+type wobble struct {
+	f1, f2, f3 float64
+	p1, p2, p3 float64
+	amp        float64
+}
+
+func newWobble(rng *eventsim.RNG, baseFreq, amp float64) wobble {
+	phase := func() float64 {
+		if rng == nil {
+			return 0
+		}
+		return rng.Uniform(0, 2*math.Pi)
+	}
+	return wobble{
+		f1: baseFreq, f2: baseFreq * 1.618, f3: baseFreq * 2.414,
+		p1: phase(), p2: phase(), p3: phase(),
+		amp: amp,
+	}
+}
+
+func (w wobble) at(t float64) float64 {
+	return w.amp / 1.8 * (math.Sin(2*math.Pi*w.f1*t+w.p1) +
+		0.6*math.Sin(2*math.Pi*w.f2*t+w.p2) +
+		0.3*math.Sin(2*math.Pi*w.f3*t+w.p3))
+}
+
+// --- On ground --------------------------------------------------------
+
+type onGround struct{}
+
+// OnGround is the baseline: the device sits untouched and nobody is
+// nearby. CSI is flat up to measurement noise (Figure 5, 0–9 s).
+func OnGround() Activity { return onGround{} }
+
+func (onGround) Name() string        { return "on-ground" }
+func (onGround) State(float64) State { return State{} }
+
+// --- Approach ---------------------------------------------------------
+
+type approach struct {
+	duration float64
+	from, to float64 // distance from the device, meters
+	sway     wobble
+}
+
+// Approach models a person walking toward the device, from `from` to
+// `to` meters over `duration` seconds, with gait sway. The moving
+// body is a strong scatterer, so CSI fluctuates as they close in.
+func Approach(rng *eventsim.RNG, duration, from, to float64) Activity {
+	return &approach{
+		duration: duration, from: from, to: to,
+		sway: newWobble(rng, 1.8, 0.06), // ~step cadence
+	}
+}
+
+func (a *approach) Name() string { return "approach" }
+
+func (a *approach) State(t float64) State {
+	frac := t / a.duration
+	if frac > 1 {
+		frac = 1
+	}
+	d := a.from + (a.to-a.from)*frac
+	return State{
+		Bodies: []Scatterer{{
+			Pos:          Vec3{-d, a.sway.at(t), 0.9 + 0.1*a.sway.at(t*1.3)},
+			Reflectivity: 0.8,
+		}},
+	}
+}
+
+// --- Pick up ----------------------------------------------------------
+
+type pickUp struct {
+	duration float64
+	jerk     wobble
+	hand     wobble
+}
+
+// PickUp models lifting the device ~0.5 m with jerky hand motion —
+// every propagation path shifts at once, producing the large
+// fluctuations of Figure 5 around t≈9–22 s.
+func PickUp(rng *eventsim.RNG, duration float64) Activity {
+	return &pickUp{
+		duration: duration,
+		jerk:     newWobble(rng, 3.1, 0.05),
+		hand:     newWobble(rng, 1.2, 0.03),
+	}
+}
+
+func (p *pickUp) Name() string { return "pick-up" }
+
+func (p *pickUp) State(t float64) State {
+	frac := t / p.duration
+	if frac > 1 {
+		frac = 1
+	}
+	// Smooth lift profile with jerk superimposed.
+	lift := 0.5 * (1 - math.Cos(math.Pi*frac)) / 2 * 2
+	return State{
+		DeviceOffset: Vec3{
+			X: 0.1*frac + p.jerk.at(t),
+			Y: p.jerk.at(t*1.7) + p.hand.at(t),
+			Z: lift + p.jerk.at(t*0.9),
+		},
+		Bodies: []Scatterer{{
+			Pos:          Vec3{-0.4, 0.1 + p.hand.at(t), 0.8},
+			Reflectivity: 0.9,
+		}},
+	}
+}
+
+// --- Hold -------------------------------------------------------------
+
+type hold struct {
+	tremor wobble
+	body   wobble
+}
+
+// Hold models the device held still in the hands: only physiological
+// tremor (~1–2 Hz, millimeters). Distinct from typing — visible in
+// Figure 5 as moderate, slow variation (t≈22–32 s).
+func Hold(rng *eventsim.RNG) Activity {
+	return &hold{
+		// Tremor components at 1.0/1.6/2.4 Hz — all below the 2.5 Hz
+		// band edge that distinguishes typing.
+		tremor: newWobble(rng, 1.0, 0.004),
+		body:   newWobble(rng, 0.25, 0.008), // breathing-coupled sway
+	}
+}
+
+func (h *hold) Name() string { return "hold" }
+
+func (h *hold) State(t float64) State {
+	return State{
+		DeviceOffset: Vec3{
+			X: 0.1 + h.tremor.at(t),
+			Z: 0.5 + h.tremor.at(t*1.3) + h.body.at(t),
+		},
+		Bodies: []Scatterer{{
+			Pos:          Vec3{-0.4, 0.1, 0.8},
+			Reflectivity: 0.9,
+		}},
+	}
+}
+
+// --- Typing -----------------------------------------------------------
+
+type typing struct {
+	base      *hold
+	strikeHz  float64
+	burstGate wobble
+	finger    wobble
+}
+
+// Typing models keystrokes on the held device: finger strikes at
+// ~4 Hz gated into bursts, each strike moving a small strong
+// scatterer (the finger/hand) and nudging the device. CSI shows
+// fast, spiky variation clearly distinct from Hold (Figure 5,
+// t≈32–42 s; the basis of WindTalker-style keystroke inference).
+func Typing(rng *eventsim.RNG) Activity {
+	return &typing{
+		base:      Hold(rng).(*hold),
+		strikeHz:  3.5, // |sin|³ strike waveform → energy at 7 Hz
+		burstGate: newWobble(rng, 0.33, 1),
+		// Finger motion components at 3.5/5.7/8.4 Hz — above the
+		// 2.5 Hz band edge.
+		finger: newWobble(rng, 3.5, 0.015),
+	}
+}
+
+func (ty *typing) Name() string { return "typing" }
+
+// strikeEnvelope is 1 while a typing burst is active.
+func (ty *typing) strikeEnvelope(t float64) float64 {
+	if ty.burstGate.at(t) > -0.25 {
+		return 1
+	}
+	return 0
+}
+
+func (ty *typing) State(t float64) State {
+	st := ty.base.State(t)
+	env := ty.strikeEnvelope(t)
+	// Sharp strike waveform: rectified fast sinusoid.
+	strike := math.Abs(math.Sin(2 * math.Pi * ty.strikeHz * t))
+	strike = strike * strike * strike // sharpen
+	dz := env * (ty.finger.at(t) + 0.010*strike)
+	st.DeviceOffset.Z += dz
+	st.DeviceOffset.X += env * ty.finger.at(t*1.9)
+	// The striking hand hovers over the device and pumps with each key.
+	st.Bodies = append(st.Bodies, Scatterer{
+		Pos:          Vec3{-0.05, 0, 0.62 + 3*dz},
+		Reflectivity: 0.7,
+	})
+	return st
+}
+
+// --- Walking (extension: whole-home sensing) --------------------------
+
+type walking struct {
+	radius float64
+	speed  float64
+	sway   wobble
+}
+
+// Walking models a person circling the device at the given radius —
+// the motion source for the §4.3 whole-home sensing opportunity.
+func Walking(rng *eventsim.RNG, radius, speedMps float64) Activity {
+	return &walking{radius: radius, speed: speedMps, sway: newWobble(rng, 1.9, 0.05)}
+}
+
+func (w *walking) Name() string { return "walking" }
+
+func (w *walking) State(t float64) State {
+	ang := w.speed * t / w.radius
+	return State{
+		Bodies: []Scatterer{{
+			Pos: Vec3{
+				-w.radius * math.Cos(ang),
+				w.radius*math.Sin(ang) + w.sway.at(t),
+				0.9,
+			},
+			Reflectivity: 0.85,
+		}},
+	}
+}
+
+// --- Breathing (extension: vital-sign sensing) ------------------------
+
+type breathing struct {
+	rateHz float64
+	depth  float64
+}
+
+// Breathing models a stationary person whose chest moves
+// sinusoidally — the paper's open question about extracting vital
+// signs from ACK CSI.
+func Breathing(rateBPM float64) Activity {
+	return &breathing{rateHz: rateBPM / 60, depth: 0.006}
+}
+
+func (b *breathing) Name() string { return "breathing" }
+
+func (b *breathing) State(t float64) State {
+	chest := b.depth * math.Sin(2*math.Pi*b.rateHz*t)
+	return State{
+		Bodies: []Scatterer{{
+			Pos:          Vec3{-1.0 + chest, 0.2, 1.0},
+			Reflectivity: 0.85,
+		}},
+	}
+}
+
+// Figure5Timeline is the activity script of the paper's Figure 5:
+// device on the ground until 9 s, approached and picked up until
+// 22 s, held until 32 s, typed on until 42 s, then idle again.
+func Figure5Timeline(rng *eventsim.RNG) *Timeline {
+	tl := &Timeline{}
+	tl.Add(9, 13, Approach(rng, 4, 4, 0.5)).
+		Add(13, 22, PickUp(rng, 9)).
+		Add(22, 32, Hold(rng)).
+		Add(32, 42, Typing(rng))
+	return tl
+}

@@ -1,0 +1,141 @@
+package csi
+
+import (
+	"math"
+
+	"politewifi/internal/phy"
+)
+
+// Subcarrier fusion: single-subcarrier tracks are sensitive to
+// frequency-selective fades (a subcarrier can sit in a null where
+// motion barely registers). Projecting the 52-dimensional amplitude
+// matrix onto its first principal component concentrates the common
+// motion signal — the standard first step of serious WiFi-sensing
+// pipelines. Power iteration suffices for the top component.
+
+// AmplitudeMatrix extracts the samples × subcarriers amplitude matrix
+// from a series.
+func AmplitudeMatrix(s Series) [][]float64 {
+	out := make([][]float64, len(s))
+	for i, smp := range s {
+		row := make([]float64, phy.NumSubcarriers)
+		for k := range row {
+			row[k] = smp.Amplitude(k)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// FirstPC projects the (samples × dims) matrix onto its first
+// principal component, returning the per-sample score. Columns are
+// mean-centered first; the component sign is normalised so that the
+// projection correlates positively with the mean amplitude track.
+func FirstPC(m [][]float64) []float64 {
+	n := len(m)
+	if n == 0 {
+		return nil
+	}
+	dims := len(m[0])
+	// Column means.
+	mean := make([]float64, dims)
+	for _, row := range m {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	// Centered copy.
+	c := make([][]float64, n)
+	for i, row := range m {
+		cr := make([]float64, dims)
+		for j, v := range row {
+			cr[j] = v - mean[j]
+		}
+		c[i] = cr
+	}
+	// Power iteration on Cᵀ·C (never materialised: v ← Cᵀ(Cv)).
+	v := make([]float64, dims)
+	for j := range v {
+		v[j] = 1 / math.Sqrt(float64(dims))
+	}
+	tmp := make([]float64, n)
+	for iter := 0; iter < 50; iter++ {
+		for i, row := range c {
+			s := 0.0
+			for j, x := range row {
+				s += x * v[j]
+			}
+			tmp[i] = s
+		}
+		next := make([]float64, dims)
+		for i, row := range c {
+			for j, x := range row {
+				next[j] += x * tmp[i]
+			}
+		}
+		norm := 0.0
+		for _, x := range next {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			break
+		}
+		delta := 0.0
+		for j := range next {
+			next[j] /= norm
+			delta += math.Abs(next[j] - v[j])
+		}
+		v = next
+		if delta < 1e-10 {
+			break
+		}
+	}
+	// Scores, sign-aligned with the mean track.
+	scores := make([]float64, n)
+	var corr float64
+	for i, row := range c {
+		s := 0.0
+		rowMean := 0.0
+		for j, x := range row {
+			s += x * v[j]
+			rowMean += x
+		}
+		scores[i] = s
+		corr += s * rowMean
+	}
+	if corr < 0 {
+		for i := range scores {
+			scores[i] = -scores[i]
+		}
+	}
+	return scores
+}
+
+// FusedAmplitude is the convenience path: first principal component
+// of the series' amplitude matrix, shifted to a positive mean so the
+// downstream normalised-std features behave like a single subcarrier
+// track.
+func FusedAmplitude(s Series) []float64 {
+	scores := FirstPC(AmplitudeMatrix(s))
+	if len(scores) == 0 {
+		return nil
+	}
+	// Shift: scores are zero-mean; restore a carrier offset equal to
+	// the mean overall amplitude so std/mean features stay meaningful.
+	var total float64
+	for _, smp := range s {
+		for k := 0; k < phy.NumSubcarriers; k++ {
+			total += smp.Amplitude(k)
+		}
+	}
+	offset := total / float64(len(s)*phy.NumSubcarriers)
+	out := make([]float64, len(scores))
+	for i, v := range scores {
+		out[i] = v + offset
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package csi
+
+// Spectrogram and keystroke-timing extraction: the WindTalker-style
+// analysis stage the paper's §4.1 threat builds toward. A short-time
+// Goertzel bank turns the CSI amplitude track into a time×frequency
+// energy map; keystroke instants appear as bursts of high-band
+// energy.
+
+// Spectrogram computes short-time band energies: for each window of
+// `window` samples, advanced by `hop`, the Goertzel power at each of
+// the probe frequencies (mean-removed per window). The result is
+// frames × frequencies.
+func Spectrogram(x []float64, fs float64, window, hop int, freqs []float64) [][]float64 {
+	if window < 2 || hop < 1 || len(x) < window || len(freqs) == 0 {
+		return nil
+	}
+	var out [][]float64
+	for start := 0; start+window <= len(x); start += hop {
+		seg := centered(x[start : start+window])
+		row := make([]float64, len(freqs))
+		for i, f := range freqs {
+			row[i] = Goertzel(seg, fs, f)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// BandEnergy sums a spectrogram's rows over the probe frequencies in
+// [fmin, fmax], producing a per-frame envelope.
+func BandEnergy(spec [][]float64, freqs []float64, fmin, fmax float64) []float64 {
+	out := make([]float64, len(spec))
+	for t, row := range spec {
+		for i, f := range freqs {
+			if f >= fmin && f <= fmax {
+				out[t] += row[i]
+			}
+		}
+	}
+	return out
+}
+
+// KeystrokeTimes estimates individual keystroke instants from a CSI
+// amplitude track: high-band (>2.5 Hz) short-time energy is
+// thresholded at k·median and each crossing run contributes its peak
+// frame. Returned values are sample indices into x.
+func KeystrokeTimes(x []float64, fs float64, k float64) []int {
+	window := int(fs / 4) // 250 ms analysis frames
+	hop := window / 4
+	if window < 4 || hop < 1 {
+		return nil
+	}
+	freqs := []float64{3, 4, 5, 6, 7}
+	spec := Spectrogram(Hampel(x, 5, 3), fs, window, hop, freqs)
+	env := BandEnergy(spec, freqs, 2.5, 8)
+	if len(env) == 0 {
+		return nil
+	}
+	med := median(append([]float64(nil), env...))
+	thresh := k * med
+	if thresh <= 0 {
+		return nil
+	}
+	var times []int
+	inBurst := false
+	peakVal, peakAt := 0.0, 0
+	for t, v := range env {
+		if v > thresh {
+			if !inBurst {
+				inBurst = true
+				peakVal, peakAt = v, t
+			} else if v > peakVal {
+				peakVal, peakAt = v, t
+			}
+			continue
+		}
+		if inBurst {
+			inBurst = false
+			times = append(times, peakAt*hop+window/2)
+		}
+	}
+	if inBurst {
+		times = append(times, peakAt*hop+window/2)
+	}
+	return times
+}

@@ -1,0 +1,173 @@
+package dot11
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// FCSLen is the length of the trailing frame check sequence.
+const FCSLen = 4
+
+// ErrBadFCS is returned by Decode when the frame check sequence does
+// not match the frame contents. A real PHY drops such frames without
+// acknowledging them — the FCS check is the *only* validation that
+// happens before the ACK decision.
+var ErrBadFCS = errors.New("dot11: FCS check failed")
+
+// ErrUnsupportedFrame is returned for type/subtype combinations the
+// codec does not implement.
+var ErrUnsupportedFrame = errors.New("dot11: unsupported frame type")
+
+// FCS computes the IEEE CRC-32 frame check sequence over data.
+func FCS(data []byte) uint32 {
+	return crc32.ChecksumIEEE(data)
+}
+
+// Serialize renders a frame to wire bytes with the FCS appended.
+func Serialize(f Frame) ([]byte, error) {
+	b, err := f.AppendTo(nil)
+	if err != nil {
+		return nil, err
+	}
+	return AppendFCS(b), nil
+}
+
+// AppendFCS appends the 4-byte FCS for b to b.
+func AppendFCS(b []byte) []byte {
+	fcs := FCS(b)
+	return append(b, byte(fcs), byte(fcs>>8), byte(fcs>>16), byte(fcs>>24))
+}
+
+// CheckFCS verifies the trailing FCS and returns the frame bytes with
+// the FCS stripped.
+func CheckFCS(data []byte) ([]byte, error) {
+	if len(data) < FCSLen {
+		return nil, errShortFrame
+	}
+	body := data[:len(data)-FCSLen]
+	want := uint32(data[len(data)-4]) | uint32(data[len(data)-3])<<8 |
+		uint32(data[len(data)-2])<<16 | uint32(data[len(data)-1])<<24
+	if FCS(body) != want {
+		return nil, ErrBadFCS
+	}
+	return body, nil
+}
+
+// Decode parses a full frame including FCS. It verifies the FCS first
+// (as the PHY does) and then dispatches on Frame Control.
+func Decode(data []byte) (Frame, error) {
+	body, err := CheckFCS(data)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeNoFCS(body)
+}
+
+// DecodeNoFCS parses a frame whose FCS has already been stripped.
+func DecodeNoFCS(body []byte) (Frame, error) {
+	if len(body) < 2 {
+		return nil, errShortFrame
+	}
+	fc := ParseFrameControl(getU16(body))
+	if fc.Version != 0 {
+		return nil, fmt.Errorf("dot11: unsupported protocol version %d", fc.Version)
+	}
+	var f Frame
+	switch fc.Type {
+	case TypeControl:
+		switch fc.Subtype {
+		case SubtypeACK:
+			f = &Ack{}
+		case SubtypeCTS:
+			f = &CTS{}
+		case SubtypeRTS:
+			f = &RTS{}
+		case SubtypePSPoll:
+			f = &PSPoll{}
+		case SubtypeBlockAckReq:
+			f = &BlockAckReq{}
+		case SubtypeBlockAck:
+			f = &BlockAck{}
+		default:
+			return nil, fmt.Errorf("%w: control subtype %d", ErrUnsupportedFrame, fc.Subtype)
+		}
+	case TypeManagement:
+		switch fc.Subtype {
+		case SubtypeBeacon:
+			f = &Beacon{}
+		case SubtypeProbeReq:
+			f = &ProbeReq{}
+		case SubtypeProbeResp:
+			f = &ProbeResp{}
+		case SubtypeDeauth:
+			f = &Deauth{}
+		case SubtypeDisassoc:
+			f = &Disassoc{}
+		case SubtypeAuth:
+			f = &Auth{}
+		case SubtypeAssocReq:
+			f = &AssocReq{}
+		case SubtypeAssocResp:
+			f = &AssocResp{}
+		case SubtypeAction:
+			f = &Action{}
+		default:
+			return nil, fmt.Errorf("%w: management subtype %d", ErrUnsupportedFrame, fc.Subtype)
+		}
+	case TypeData:
+		switch fc.Subtype {
+		case SubtypeData, SubtypeNull, SubtypeQoSData, SubtypeQoSNull:
+			f = &Data{}
+		default:
+			return nil, fmt.Errorf("%w: data subtype %d", ErrUnsupportedFrame, fc.Subtype)
+		}
+	default:
+		return nil, fmt.Errorf("%w: type %d", ErrUnsupportedFrame, fc.Type)
+	}
+	if err := f.DecodeFromBytes(body); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// NeedsAck reports whether a frame of this type solicits an
+// acknowledgement: unicast management and data frames do; control
+// frames, broadcast and multicast frames do not. The decision uses
+// only the Frame Control field and Address 1 — nothing about the
+// frame's legitimacy — which is exactly the Polite WiFi root cause.
+func NeedsAck(fc FrameControl, ra MAC) bool {
+	if !ra.IsUnicast() {
+		return false
+	}
+	switch fc.Type {
+	case TypeManagement, TypeData:
+		return true
+	}
+	return false
+}
+
+// WireLen reports the serialized length of a frame including FCS
+// without allocating the full encoding more than once.
+func WireLen(f Frame) (int, error) {
+	b, err := f.AppendTo(nil)
+	if err != nil {
+		return 0, err
+	}
+	return len(b) + FCSLen, nil
+}
+
+// AckFor constructs the acknowledgement a receiver transmits in
+// response to frame f. The ACK's receiver address is copied verbatim
+// from the soliciting frame's transmitter address — even when that
+// address is fake (Figure 2: the victim ACKs to aa:bb:bb:bb:bb:bb).
+func AckFor(f Frame) *Ack {
+	return &Ack{RA: f.TransmitterAddress()}
+}
+
+// CTSFor constructs the clear-to-send response to an RTS. The
+// duration is the RTS duration minus the CTS airtime and one SIFS,
+// clamped at zero; the caller provides that already-computed value.
+func CTSFor(r *RTS, duration uint16) *CTS {
+	return &CTS{RA: r.TA, Duration: duration}
+}

@@ -1,0 +1,237 @@
+package dot11
+
+import "fmt"
+
+// FrameType is the 2-bit frame class from the Frame Control field.
+type FrameType uint8
+
+// Frame classes.
+const (
+	TypeManagement FrameType = 0
+	TypeControl    FrameType = 1
+	TypeData       FrameType = 2
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case TypeManagement:
+		return "Management"
+	case TypeControl:
+		return "Control"
+	case TypeData:
+		return "Data"
+	}
+	return fmt.Sprintf("Reserved(%d)", uint8(t))
+}
+
+// Subtype is the 4-bit frame subtype. Its meaning depends on the
+// frame class; the constants below use the standard's encodings.
+type Subtype uint8
+
+// Management subtypes.
+const (
+	SubtypeAssocReq    Subtype = 0
+	SubtypeAssocResp   Subtype = 1
+	SubtypeReassocReq  Subtype = 2
+	SubtypeReassocResp Subtype = 3
+	SubtypeProbeReq    Subtype = 4
+	SubtypeProbeResp   Subtype = 5
+	SubtypeBeacon      Subtype = 8
+	SubtypeDisassoc    Subtype = 10
+	SubtypeAuth        Subtype = 11
+	SubtypeDeauth      Subtype = 12
+	SubtypeAction      Subtype = 13
+)
+
+// Control subtypes.
+const (
+	SubtypeBlockAckReq Subtype = 8
+	SubtypeBlockAck    Subtype = 9
+	SubtypePSPoll      Subtype = 10
+	SubtypeRTS         Subtype = 11
+	SubtypeCTS         Subtype = 12
+	SubtypeACK         Subtype = 13
+)
+
+// Data subtypes.
+const (
+	SubtypeData    Subtype = 0
+	SubtypeNull    Subtype = 4
+	SubtypeQoSData Subtype = 8
+	SubtypeQoSNull Subtype = 12
+)
+
+// FrameControl is the decoded 16-bit Frame Control field that starts
+// every 802.11 frame.
+type FrameControl struct {
+	Version   uint8 // protocol version, always 0 today
+	Type      FrameType
+	Subtype   Subtype
+	ToDS      bool
+	FromDS    bool
+	MoreFrag  bool
+	Retry     bool
+	PowerMgmt bool // transmitter will enter power-save after this exchange
+	MoreData  bool
+	Protected bool // frame body is encrypted (CCMP/TKIP)
+	Order     bool
+}
+
+// Uint16 packs the field into its wire representation.
+func (fc FrameControl) Uint16() uint16 {
+	v := uint16(fc.Version&0x3) |
+		uint16(fc.Type&0x3)<<2 |
+		uint16(fc.Subtype&0xf)<<4
+	if fc.ToDS {
+		v |= 1 << 8
+	}
+	if fc.FromDS {
+		v |= 1 << 9
+	}
+	if fc.MoreFrag {
+		v |= 1 << 10
+	}
+	if fc.Retry {
+		v |= 1 << 11
+	}
+	if fc.PowerMgmt {
+		v |= 1 << 12
+	}
+	if fc.MoreData {
+		v |= 1 << 13
+	}
+	if fc.Protected {
+		v |= 1 << 14
+	}
+	if fc.Order {
+		v |= 1 << 15
+	}
+	return v
+}
+
+// ParseFrameControl unpacks the wire representation.
+func ParseFrameControl(v uint16) FrameControl {
+	return FrameControl{
+		Version:   uint8(v & 0x3),
+		Type:      FrameType(v >> 2 & 0x3),
+		Subtype:   Subtype(v >> 4 & 0xf),
+		ToDS:      v&(1<<8) != 0,
+		FromDS:    v&(1<<9) != 0,
+		MoreFrag:  v&(1<<10) != 0,
+		Retry:     v&(1<<11) != 0,
+		PowerMgmt: v&(1<<12) != 0,
+		MoreData:  v&(1<<13) != 0,
+		Protected: v&(1<<14) != 0,
+		Order:     v&(1<<15) != 0,
+	}
+}
+
+// Name returns the Wireshark-style name of the type/subtype pair,
+// e.g. "Null function (No data)" or "Acknowledgement".
+func (fc FrameControl) Name() string {
+	switch fc.Type {
+	case TypeManagement:
+		switch fc.Subtype {
+		case SubtypeAssocReq:
+			return "Association Request"
+		case SubtypeAssocResp:
+			return "Association Response"
+		case SubtypeReassocReq:
+			return "Reassociation Request"
+		case SubtypeReassocResp:
+			return "Reassociation Response"
+		case SubtypeProbeReq:
+			return "Probe Request"
+		case SubtypeProbeResp:
+			return "Probe Response"
+		case SubtypeBeacon:
+			return "Beacon frame"
+		case SubtypeDisassoc:
+			return "Disassociation"
+		case SubtypeAuth:
+			return "Authentication"
+		case SubtypeDeauth:
+			return "Deauthentication"
+		case SubtypeAction:
+			return "Action"
+		}
+	case TypeControl:
+		switch fc.Subtype {
+		case SubtypeBlockAckReq:
+			return "Block Ack Request"
+		case SubtypeBlockAck:
+			return "Block Ack"
+		case SubtypePSPoll:
+			return "PS-Poll"
+		case SubtypeRTS:
+			return "Request-to-send"
+		case SubtypeCTS:
+			return "Clear-to-send"
+		case SubtypeACK:
+			return "Acknowledgement"
+		}
+	case TypeData:
+		switch fc.Subtype {
+		case SubtypeData:
+			return "Data"
+		case SubtypeNull:
+			return "Null function (No data)"
+		case SubtypeQoSData:
+			return "QoS Data"
+		case SubtypeQoSNull:
+			return "QoS Null function (No data)"
+		}
+	}
+	return fmt.Sprintf("%s subtype %d", fc.Type, fc.Subtype)
+}
+
+// FlagString renders set flags the way Wireshark's Info column does,
+// e.g. "Flags=...P...T".
+func (fc FrameControl) FlagString() string {
+	b := []byte("........")
+	if fc.Order {
+		b[0] = 'O'
+	}
+	if fc.Protected {
+		b[1] = 'P'
+	}
+	if fc.MoreData {
+		b[2] = 'M'
+	}
+	if fc.PowerMgmt {
+		b[3] = 'P'
+	}
+	if fc.Retry {
+		b[4] = 'R'
+	}
+	if fc.MoreFrag {
+		b[5] = 'F'
+	}
+	if fc.FromDS {
+		b[6] = 'F'
+	}
+	if fc.ToDS {
+		b[7] = 'T'
+	}
+	return "Flags=" + string(b)
+}
+
+// SequenceControl is the 16-bit fragment/sequence number field.
+type SequenceControl struct {
+	Fragment uint8  // 4 bits
+	Number   uint16 // 12 bits, modulo 4096
+}
+
+// Uint16 packs the field.
+func (sc SequenceControl) Uint16() uint16 {
+	return uint16(sc.Fragment&0xf) | sc.Number<<4
+}
+
+// ParseSequenceControl unpacks the field.
+func ParseSequenceControl(v uint16) SequenceControl {
+	return SequenceControl{Fragment: uint8(v & 0xf), Number: v >> 4 & 0xfff}
+}
+
+// NextSeq advances a sequence number modulo 4096.
+func NextSeq(n uint16) uint16 { return (n + 1) & 0xfff }

@@ -1,0 +1,856 @@
+package dot11
+
+import (
+	"fmt"
+)
+
+// Frame is implemented by every decoded 802.11 frame. The codec is
+// symmetric: AppendTo produces the exact bytes DecodeFromBytes
+// consumes (MAC header and body, without the trailing FCS — the FCS
+// is added and checked by Serialize/Decode).
+type Frame interface {
+	// Control returns the frame's Frame Control field.
+	Control() FrameControl
+	// ReceiverAddress returns Address 1, the station the frame is
+	// destined for on the air. This is the only field a receiver
+	// checks before acknowledging — the root cause of Polite WiFi.
+	ReceiverAddress() MAC
+	// TransmitterAddress returns the MAC the response (ACK/CTS) is
+	// sent to, or the zero MAC for frames with no TA (ACK, CTS).
+	TransmitterAddress() MAC
+	// AppendTo appends the frame's wire representation (without FCS).
+	AppendTo(b []byte) ([]byte, error)
+	// DecodeFromBytes parses the frame from data (without FCS).
+	DecodeFromBytes(data []byte) error
+	// Info renders the Wireshark-style Info column string.
+	Info() string
+}
+
+// --- Control frames -------------------------------------------------
+
+// Ack is the 802.11 acknowledgement control frame: 2 bytes FC,
+// 2 bytes Duration, 6 bytes RA. There is no transmitter address —
+// the ACK is matched to the preceding frame purely by timing, which
+// is why an ACK elicited by a fake frame flows to the fake MAC with
+// no questions asked.
+type Ack struct {
+	Duration uint16
+	RA       MAC
+}
+
+// Control implements Frame.
+func (a *Ack) Control() FrameControl {
+	return FrameControl{Type: TypeControl, Subtype: SubtypeACK}
+}
+
+// ReceiverAddress implements Frame.
+func (a *Ack) ReceiverAddress() MAC { return a.RA }
+
+// TransmitterAddress implements Frame; ACKs carry none.
+func (a *Ack) TransmitterAddress() MAC { return ZeroMAC }
+
+// AppendTo implements Frame.
+func (a *Ack) AppendTo(b []byte) ([]byte, error) {
+	var hdr [10]byte
+	putU16(hdr[0:], a.Control().Uint16())
+	putU16(hdr[2:], a.Duration)
+	putMAC(hdr[4:], a.RA)
+	return append(b, hdr[:]...), nil
+}
+
+// DecodeFromBytes implements Frame.
+func (a *Ack) DecodeFromBytes(data []byte) error {
+	if len(data) < 10 {
+		return errShortFrame
+	}
+	a.Duration = getU16(data[2:])
+	a.RA = getMAC(data[4:])
+	return nil
+}
+
+// Info implements Frame.
+func (a *Ack) Info() string {
+	return "Acknowledgement, " + a.Control().FlagString()
+}
+
+// CTS is the clear-to-send control frame; same layout as Ack.
+type CTS struct {
+	Duration uint16
+	RA       MAC
+}
+
+// Control implements Frame.
+func (c *CTS) Control() FrameControl {
+	return FrameControl{Type: TypeControl, Subtype: SubtypeCTS}
+}
+
+// ReceiverAddress implements Frame.
+func (c *CTS) ReceiverAddress() MAC { return c.RA }
+
+// TransmitterAddress implements Frame; CTS carries none.
+func (c *CTS) TransmitterAddress() MAC { return ZeroMAC }
+
+// AppendTo implements Frame.
+func (c *CTS) AppendTo(b []byte) ([]byte, error) {
+	var hdr [10]byte
+	putU16(hdr[0:], c.Control().Uint16())
+	putU16(hdr[2:], c.Duration)
+	putMAC(hdr[4:], c.RA)
+	return append(b, hdr[:]...), nil
+}
+
+// DecodeFromBytes implements Frame.
+func (c *CTS) DecodeFromBytes(data []byte) error {
+	if len(data) < 10 {
+		return errShortFrame
+	}
+	c.Duration = getU16(data[2:])
+	c.RA = getMAC(data[4:])
+	return nil
+}
+
+// Info implements Frame.
+func (c *CTS) Info() string {
+	return "Clear-to-send, " + c.Control().FlagString()
+}
+
+// RTS is the request-to-send control frame: FC, Duration, RA, TA.
+// RTS/CTS cannot be encrypted (every nearby station must parse them to
+// honour the NAV), which is why Polite WiFi is unpreventable even with
+// a hypothetical instant WPA2 decoder (§2.2).
+type RTS struct {
+	Duration uint16
+	RA       MAC
+	TA       MAC
+}
+
+// Control implements Frame.
+func (r *RTS) Control() FrameControl {
+	return FrameControl{Type: TypeControl, Subtype: SubtypeRTS}
+}
+
+// ReceiverAddress implements Frame.
+func (r *RTS) ReceiverAddress() MAC { return r.RA }
+
+// TransmitterAddress implements Frame.
+func (r *RTS) TransmitterAddress() MAC { return r.TA }
+
+// AppendTo implements Frame.
+func (r *RTS) AppendTo(b []byte) ([]byte, error) {
+	var hdr [16]byte
+	putU16(hdr[0:], r.Control().Uint16())
+	putU16(hdr[2:], r.Duration)
+	putMAC(hdr[4:], r.RA)
+	putMAC(hdr[10:], r.TA)
+	return append(b, hdr[:]...), nil
+}
+
+// DecodeFromBytes implements Frame.
+func (r *RTS) DecodeFromBytes(data []byte) error {
+	if len(data) < 16 {
+		return errShortFrame
+	}
+	r.Duration = getU16(data[2:])
+	r.RA = getMAC(data[4:])
+	r.TA = getMAC(data[10:])
+	return nil
+}
+
+// Info implements Frame.
+func (r *RTS) Info() string {
+	return "Request-to-send, " + r.Control().FlagString()
+}
+
+// PSPoll is the power-save poll control frame. The Duration field
+// carries the association ID with the two top bits set.
+type PSPoll struct {
+	AID   uint16
+	BSSID MAC
+	TA    MAC
+}
+
+// Control implements Frame.
+func (p *PSPoll) Control() FrameControl {
+	return FrameControl{Type: TypeControl, Subtype: SubtypePSPoll}
+}
+
+// ReceiverAddress implements Frame.
+func (p *PSPoll) ReceiverAddress() MAC { return p.BSSID }
+
+// TransmitterAddress implements Frame.
+func (p *PSPoll) TransmitterAddress() MAC { return p.TA }
+
+// AppendTo implements Frame.
+func (p *PSPoll) AppendTo(b []byte) ([]byte, error) {
+	var hdr [16]byte
+	putU16(hdr[0:], p.Control().Uint16())
+	putU16(hdr[2:], p.AID|0xc000)
+	putMAC(hdr[4:], p.BSSID)
+	putMAC(hdr[10:], p.TA)
+	return append(b, hdr[:]...), nil
+}
+
+// DecodeFromBytes implements Frame.
+func (p *PSPoll) DecodeFromBytes(data []byte) error {
+	if len(data) < 16 {
+		return errShortFrame
+	}
+	p.AID = getU16(data[2:]) &^ 0xc000
+	p.BSSID = getMAC(data[4:])
+	p.TA = getMAC(data[10:])
+	return nil
+}
+
+// Info implements Frame.
+func (p *PSPoll) Info() string {
+	return fmt.Sprintf("PS-Poll, AID=%d, %s", p.AID, p.Control().FlagString())
+}
+
+// --- Header for management and data frames --------------------------
+
+// Header is the common 24-byte MAC header of management and data
+// frames (Address 4 and the QoS control field are handled by the
+// frames that carry them).
+type Header struct {
+	FC       FrameControl
+	Duration uint16
+	Addr1    MAC // RA
+	Addr2    MAC // TA
+	Addr3    MAC // BSSID / DA / SA depending on ToDS/FromDS
+	Seq      SequenceControl
+}
+
+const headerLen = 24
+
+func (h *Header) appendTo(b []byte, fc FrameControl) []byte {
+	var hdr [headerLen]byte
+	putU16(hdr[0:], fc.Uint16())
+	putU16(hdr[2:], h.Duration)
+	putMAC(hdr[4:], h.Addr1)
+	putMAC(hdr[10:], h.Addr2)
+	putMAC(hdr[16:], h.Addr3)
+	putU16(hdr[22:], h.Seq.Uint16())
+	return append(b, hdr[:]...)
+}
+
+func (h *Header) decodeFrom(data []byte) error {
+	if len(data) < headerLen {
+		return errShortFrame
+	}
+	h.FC = ParseFrameControl(getU16(data))
+	h.Duration = getU16(data[2:])
+	h.Addr1 = getMAC(data[4:])
+	h.Addr2 = getMAC(data[10:])
+	h.Addr3 = getMAC(data[16:])
+	h.Seq = ParseSequenceControl(getU16(data[22:]))
+	return nil
+}
+
+// DA returns the destination address per the ToDS/FromDS rules.
+func (h *Header) DA() MAC {
+	switch {
+	case h.FC.ToDS && !h.FC.FromDS:
+		return h.Addr3
+	default:
+		return h.Addr1
+	}
+}
+
+// SA returns the source address per the ToDS/FromDS rules.
+func (h *Header) SA() MAC {
+	switch {
+	case h.FC.FromDS && !h.FC.ToDS:
+		return h.Addr3
+	default:
+		return h.Addr2
+	}
+}
+
+// BSSID returns the BSS identifier per the ToDS/FromDS rules.
+func (h *Header) BSSID() MAC {
+	switch {
+	case h.FC.ToDS && !h.FC.FromDS:
+		return h.Addr1
+	case !h.FC.ToDS && h.FC.FromDS:
+		return h.Addr2
+	default:
+		return h.Addr3
+	}
+}
+
+// --- Data frames -----------------------------------------------------
+
+// Data is a (possibly protected) data frame. When the Protected flag
+// is set, Payload holds the CCMP encapsulation (header + ciphertext +
+// MIC) produced by package crypto80211.
+type Data struct {
+	Header
+	QoS bool  // include a QoS Control field (subtype 8)
+	TID uint8 // traffic identifier when QoS
+	// AckPolicy is the QoS ack policy (bits 5-6 of QoS Control):
+	// AckPolicyNormal solicits an immediate ACK; AckPolicyBlockAck
+	// defers acknowledgement to a BlockAckReq/BlockAck exchange.
+	AckPolicy uint8
+	Null      bool   // null-function frame: no body at all
+	Payload   []byte // absent for null frames
+}
+
+// QoS ack policies.
+const (
+	AckPolicyNormal   uint8 = 0
+	AckPolicyNoAck    uint8 = 1
+	AckPolicyBlockAck uint8 = 3
+)
+
+// Control implements Frame.
+func (d *Data) Control() FrameControl {
+	fc := d.FC
+	fc.Type = TypeData
+	switch {
+	case d.QoS && d.Null:
+		fc.Subtype = SubtypeQoSNull
+	case d.QoS:
+		fc.Subtype = SubtypeQoSData
+	case d.Null:
+		fc.Subtype = SubtypeNull
+	default:
+		fc.Subtype = SubtypeData
+	}
+	return fc
+}
+
+// ReceiverAddress implements Frame.
+func (d *Data) ReceiverAddress() MAC { return d.Addr1 }
+
+// TransmitterAddress implements Frame.
+func (d *Data) TransmitterAddress() MAC { return d.Addr2 }
+
+// AppendTo implements Frame.
+func (d *Data) AppendTo(b []byte) ([]byte, error) {
+	b = d.Header.appendTo(b, d.Control())
+	if d.QoS {
+		var qc [2]byte
+		putU16(qc[:], uint16(d.TID&0xf)|uint16(d.AckPolicy&0x3)<<5)
+		b = append(b, qc[:]...)
+	}
+	if !d.Null {
+		b = append(b, d.Payload...)
+	}
+	return b, nil
+}
+
+// DecodeFromBytes implements Frame.
+func (d *Data) DecodeFromBytes(data []byte) error {
+	if err := d.Header.decodeFrom(data); err != nil {
+		return err
+	}
+	rest := data[headerLen:]
+	d.QoS = d.FC.Subtype&0x8 != 0
+	d.Null = d.FC.Subtype&0x4 != 0
+	if d.QoS {
+		if len(rest) < 2 {
+			return errShortFrame
+		}
+		qc := getU16(rest)
+		d.TID = uint8(qc & 0xf)
+		d.AckPolicy = uint8(qc >> 5 & 0x3)
+		rest = rest[2:]
+	}
+	if d.Null {
+		d.Payload = nil
+	} else {
+		d.Payload = append([]byte(nil), rest...)
+	}
+	return nil
+}
+
+// Info implements Frame.
+func (d *Data) Info() string {
+	return fmt.Sprintf("%s, SN=%d, FN=%d, %s",
+		d.Control().Name(), d.Seq.Number, d.Seq.Fragment, d.Control().FlagString())
+}
+
+// NewNullFrame builds the fake frame used throughout the paper: a
+// null-function data frame with no payload and no encryption, whose
+// only valid field is the receiver address.
+func NewNullFrame(ra, ta, bssid MAC, seq uint16) *Data {
+	return &Data{
+		Header: Header{
+			Addr1: ra,
+			Addr2: ta,
+			Addr3: bssid,
+			Seq:   SequenceControl{Number: seq},
+		},
+		Null: true,
+	}
+}
+
+// --- Management frames ----------------------------------------------
+
+// Capability bits advertised in beacons and association frames.
+const (
+	CapESS     uint16 = 1 << 0
+	CapIBSS    uint16 = 1 << 1
+	CapPrivacy uint16 = 1 << 4 // WEP/WPA/WPA2 required
+)
+
+// Beacon is the AP's periodic announcement frame.
+type Beacon struct {
+	Header
+	Timestamp  uint64 // TSF in microseconds
+	IntervalTU uint16 // beacon interval in time units (1 TU = 1024 µs)
+	Capability uint16
+	IEs        []IE
+}
+
+// Control implements Frame.
+func (f *Beacon) Control() FrameControl {
+	fc := f.FC
+	fc.Type, fc.Subtype = TypeManagement, SubtypeBeacon
+	return fc
+}
+
+// ReceiverAddress implements Frame.
+func (f *Beacon) ReceiverAddress() MAC { return f.Addr1 }
+
+// TransmitterAddress implements Frame.
+func (f *Beacon) TransmitterAddress() MAC { return f.Addr2 }
+
+// AppendTo implements Frame.
+func (f *Beacon) AppendTo(b []byte) ([]byte, error) {
+	b = f.Header.appendTo(b, f.Control())
+	var fixed [12]byte
+	putU64(fixed[0:], f.Timestamp)
+	putU16(fixed[8:], f.IntervalTU)
+	putU16(fixed[10:], f.Capability)
+	b = append(b, fixed[:]...)
+	return appendIEs(b, f.IEs)
+}
+
+// DecodeFromBytes implements Frame.
+func (f *Beacon) DecodeFromBytes(data []byte) error {
+	if err := f.Header.decodeFrom(data); err != nil {
+		return err
+	}
+	rest := data[headerLen:]
+	if len(rest) < 12 {
+		return errShortFrame
+	}
+	f.Timestamp = getU64(rest)
+	f.IntervalTU = getU16(rest[8:])
+	f.Capability = getU16(rest[10:])
+	var err error
+	f.IEs, err = parseIEs(rest[12:])
+	return err
+}
+
+// Info implements Frame.
+func (f *Beacon) Info() string {
+	ssid, _ := FindSSID(f.IEs)
+	return fmt.Sprintf("Beacon frame, SN=%d, FN=0, %s, SSID=%q",
+		f.Seq.Number, f.Control().FlagString(), ssid)
+}
+
+// SSID returns the network name from the frame's IEs.
+func (f *Beacon) SSID() string {
+	s, _ := FindSSID(f.IEs)
+	return s
+}
+
+// ProbeReq is a station's active scan request.
+type ProbeReq struct {
+	Header
+	IEs []IE
+}
+
+// Control implements Frame.
+func (f *ProbeReq) Control() FrameControl {
+	fc := f.FC
+	fc.Type, fc.Subtype = TypeManagement, SubtypeProbeReq
+	return fc
+}
+
+// ReceiverAddress implements Frame.
+func (f *ProbeReq) ReceiverAddress() MAC { return f.Addr1 }
+
+// TransmitterAddress implements Frame.
+func (f *ProbeReq) TransmitterAddress() MAC { return f.Addr2 }
+
+// AppendTo implements Frame.
+func (f *ProbeReq) AppendTo(b []byte) ([]byte, error) {
+	b = f.Header.appendTo(b, f.Control())
+	return appendIEs(b, f.IEs)
+}
+
+// DecodeFromBytes implements Frame.
+func (f *ProbeReq) DecodeFromBytes(data []byte) error {
+	if err := f.Header.decodeFrom(data); err != nil {
+		return err
+	}
+	var err error
+	f.IEs, err = parseIEs(data[headerLen:])
+	return err
+}
+
+// Info implements Frame.
+func (f *ProbeReq) Info() string {
+	ssid, _ := FindSSID(f.IEs)
+	return fmt.Sprintf("Probe Request, SN=%d, FN=0, %s, SSID=%q",
+		f.Seq.Number, f.Control().FlagString(), ssid)
+}
+
+// ProbeResp is the AP's answer to a probe request; same fixed fields
+// as a beacon.
+type ProbeResp struct {
+	Header
+	Timestamp  uint64
+	IntervalTU uint16
+	Capability uint16
+	IEs        []IE
+}
+
+// Control implements Frame.
+func (f *ProbeResp) Control() FrameControl {
+	fc := f.FC
+	fc.Type, fc.Subtype = TypeManagement, SubtypeProbeResp
+	return fc
+}
+
+// ReceiverAddress implements Frame.
+func (f *ProbeResp) ReceiverAddress() MAC { return f.Addr1 }
+
+// TransmitterAddress implements Frame.
+func (f *ProbeResp) TransmitterAddress() MAC { return f.Addr2 }
+
+// AppendTo implements Frame.
+func (f *ProbeResp) AppendTo(b []byte) ([]byte, error) {
+	b = f.Header.appendTo(b, f.Control())
+	var fixed [12]byte
+	putU64(fixed[0:], f.Timestamp)
+	putU16(fixed[8:], f.IntervalTU)
+	putU16(fixed[10:], f.Capability)
+	b = append(b, fixed[:]...)
+	return appendIEs(b, f.IEs)
+}
+
+// DecodeFromBytes implements Frame.
+func (f *ProbeResp) DecodeFromBytes(data []byte) error {
+	if err := f.Header.decodeFrom(data); err != nil {
+		return err
+	}
+	rest := data[headerLen:]
+	if len(rest) < 12 {
+		return errShortFrame
+	}
+	f.Timestamp = getU64(rest)
+	f.IntervalTU = getU16(rest[8:])
+	f.Capability = getU16(rest[10:])
+	var err error
+	f.IEs, err = parseIEs(rest[12:])
+	return err
+}
+
+// Info implements Frame.
+func (f *ProbeResp) Info() string {
+	ssid, _ := FindSSID(f.IEs)
+	return fmt.Sprintf("Probe Response, SN=%d, FN=0, %s, SSID=%q",
+		f.Seq.Number, f.Control().FlagString(), ssid)
+}
+
+// ReasonCode explains deauthentication/disassociation.
+type ReasonCode uint16
+
+// Reason codes used by the simulator.
+const (
+	ReasonUnspecified        ReasonCode = 1
+	ReasonPrevAuthExpired    ReasonCode = 2
+	ReasonDeauthLeaving      ReasonCode = 3
+	ReasonInactivity         ReasonCode = 4
+	ReasonClass2FromNonAuth  ReasonCode = 6
+	ReasonClass3FromNonAssoc ReasonCode = 7
+)
+
+// String implements fmt.Stringer.
+func (r ReasonCode) String() string {
+	switch r {
+	case ReasonUnspecified:
+		return "Unspecified reason"
+	case ReasonPrevAuthExpired:
+		return "Previous authentication no longer valid"
+	case ReasonDeauthLeaving:
+		return "Deauthenticated because sending STA is leaving"
+	case ReasonInactivity:
+		return "Disassociated due to inactivity"
+	case ReasonClass2FromNonAuth:
+		return "Class 2 frame received from nonauthenticated STA"
+	case ReasonClass3FromNonAssoc:
+		return "Class 3 frame received from nonassociated STA"
+	}
+	return fmt.Sprintf("Reason %d", uint16(r))
+}
+
+// Deauth is the deauthentication notification. Figure 3 of the paper
+// shows APs firing these at the attacker — and then acknowledging the
+// attacker's next fake frame anyway.
+type Deauth struct {
+	Header
+	Reason ReasonCode
+	// ProtectedBody carries the CCMP-encapsulated reason when the
+	// Protected flag is set (802.11w protected management frames).
+	ProtectedBody []byte
+}
+
+// Control implements Frame.
+func (f *Deauth) Control() FrameControl {
+	fc := f.FC
+	fc.Type, fc.Subtype = TypeManagement, SubtypeDeauth
+	return fc
+}
+
+// ReceiverAddress implements Frame.
+func (f *Deauth) ReceiverAddress() MAC { return f.Addr1 }
+
+// TransmitterAddress implements Frame.
+func (f *Deauth) TransmitterAddress() MAC { return f.Addr2 }
+
+// AppendTo implements Frame.
+func (f *Deauth) AppendTo(b []byte) ([]byte, error) {
+	b = f.Header.appendTo(b, f.Control())
+	if f.FC.Protected {
+		return append(b, f.ProtectedBody...), nil
+	}
+	var body [2]byte
+	putU16(body[:], uint16(f.Reason))
+	return append(b, body[:]...), nil
+}
+
+// DecodeFromBytes implements Frame.
+func (f *Deauth) DecodeFromBytes(data []byte) error {
+	if err := f.Header.decodeFrom(data); err != nil {
+		return err
+	}
+	if f.FC.Protected {
+		f.ProtectedBody = append([]byte(nil), data[headerLen:]...)
+		return nil
+	}
+	if len(data) < headerLen+2 {
+		return errShortFrame
+	}
+	f.Reason = ReasonCode(getU16(data[headerLen:]))
+	return nil
+}
+
+// Info implements Frame.
+func (f *Deauth) Info() string {
+	return fmt.Sprintf("Deauthentication, SN=%d, FN=0, %s", f.Seq.Number, f.Control().FlagString())
+}
+
+// Disassoc is the disassociation notification (same layout as Deauth).
+type Disassoc struct {
+	Header
+	Reason ReasonCode
+}
+
+// Control implements Frame.
+func (f *Disassoc) Control() FrameControl {
+	fc := f.FC
+	fc.Type, fc.Subtype = TypeManagement, SubtypeDisassoc
+	return fc
+}
+
+// ReceiverAddress implements Frame.
+func (f *Disassoc) ReceiverAddress() MAC { return f.Addr1 }
+
+// TransmitterAddress implements Frame.
+func (f *Disassoc) TransmitterAddress() MAC { return f.Addr2 }
+
+// AppendTo implements Frame.
+func (f *Disassoc) AppendTo(b []byte) ([]byte, error) {
+	b = f.Header.appendTo(b, f.Control())
+	var body [2]byte
+	putU16(body[:], uint16(f.Reason))
+	return append(b, body[:]...), nil
+}
+
+// DecodeFromBytes implements Frame.
+func (f *Disassoc) DecodeFromBytes(data []byte) error {
+	if err := f.Header.decodeFrom(data); err != nil {
+		return err
+	}
+	if len(data) < headerLen+2 {
+		return errShortFrame
+	}
+	f.Reason = ReasonCode(getU16(data[headerLen:]))
+	return nil
+}
+
+// Info implements Frame.
+func (f *Disassoc) Info() string {
+	return fmt.Sprintf("Disassociation, SN=%d, FN=0, %s", f.Seq.Number, f.Control().FlagString())
+}
+
+// StatusCode reports the result of auth/assoc exchanges.
+type StatusCode uint16
+
+// Status codes used by the simulator.
+const (
+	StatusSuccess StatusCode = 0
+	StatusRefused StatusCode = 1
+)
+
+// Auth is the (open-system) authentication frame.
+type Auth struct {
+	Header
+	Algorithm uint16 // 0 = open system
+	AuthSeq   uint16 // transaction sequence, 1 or 2
+	Status    StatusCode
+}
+
+// Control implements Frame.
+func (f *Auth) Control() FrameControl {
+	fc := f.FC
+	fc.Type, fc.Subtype = TypeManagement, SubtypeAuth
+	return fc
+}
+
+// ReceiverAddress implements Frame.
+func (f *Auth) ReceiverAddress() MAC { return f.Addr1 }
+
+// TransmitterAddress implements Frame.
+func (f *Auth) TransmitterAddress() MAC { return f.Addr2 }
+
+// AppendTo implements Frame.
+func (f *Auth) AppendTo(b []byte) ([]byte, error) {
+	b = f.Header.appendTo(b, f.Control())
+	var body [6]byte
+	putU16(body[0:], f.Algorithm)
+	putU16(body[2:], f.AuthSeq)
+	putU16(body[4:], uint16(f.Status))
+	return append(b, body[:]...), nil
+}
+
+// DecodeFromBytes implements Frame.
+func (f *Auth) DecodeFromBytes(data []byte) error {
+	if err := f.Header.decodeFrom(data); err != nil {
+		return err
+	}
+	if len(data) < headerLen+6 {
+		return errShortFrame
+	}
+	f.Algorithm = getU16(data[headerLen:])
+	f.AuthSeq = getU16(data[headerLen+2:])
+	f.Status = StatusCode(getU16(data[headerLen+4:]))
+	return nil
+}
+
+// Info implements Frame.
+func (f *Auth) Info() string {
+	return fmt.Sprintf("Authentication, SN=%d, FN=0, %s", f.Seq.Number, f.Control().FlagString())
+}
+
+// AssocReq is the association request management frame.
+type AssocReq struct {
+	Header
+	Capability uint16
+	IntervalTU uint16 // listen interval
+	IEs        []IE
+}
+
+// Control implements Frame.
+func (f *AssocReq) Control() FrameControl {
+	fc := f.FC
+	fc.Type, fc.Subtype = TypeManagement, SubtypeAssocReq
+	return fc
+}
+
+// ReceiverAddress implements Frame.
+func (f *AssocReq) ReceiverAddress() MAC { return f.Addr1 }
+
+// TransmitterAddress implements Frame.
+func (f *AssocReq) TransmitterAddress() MAC { return f.Addr2 }
+
+// AppendTo implements Frame.
+func (f *AssocReq) AppendTo(b []byte) ([]byte, error) {
+	b = f.Header.appendTo(b, f.Control())
+	var fixed [4]byte
+	putU16(fixed[0:], f.Capability)
+	putU16(fixed[2:], f.IntervalTU)
+	b = append(b, fixed[:]...)
+	return appendIEs(b, f.IEs)
+}
+
+// DecodeFromBytes implements Frame.
+func (f *AssocReq) DecodeFromBytes(data []byte) error {
+	if err := f.Header.decodeFrom(data); err != nil {
+		return err
+	}
+	rest := data[headerLen:]
+	if len(rest) < 4 {
+		return errShortFrame
+	}
+	f.Capability = getU16(rest)
+	f.IntervalTU = getU16(rest[2:])
+	var err error
+	f.IEs, err = parseIEs(rest[4:])
+	return err
+}
+
+// Info implements Frame.
+func (f *AssocReq) Info() string {
+	return fmt.Sprintf("Association Request, SN=%d, FN=0, %s", f.Seq.Number, f.Control().FlagString())
+}
+
+// AssocResp is the association response management frame.
+type AssocResp struct {
+	Header
+	Capability uint16
+	Status     StatusCode
+	AID        uint16
+	IEs        []IE
+}
+
+// Control implements Frame.
+func (f *AssocResp) Control() FrameControl {
+	fc := f.FC
+	fc.Type, fc.Subtype = TypeManagement, SubtypeAssocResp
+	return fc
+}
+
+// ReceiverAddress implements Frame.
+func (f *AssocResp) ReceiverAddress() MAC { return f.Addr1 }
+
+// TransmitterAddress implements Frame.
+func (f *AssocResp) TransmitterAddress() MAC { return f.Addr2 }
+
+// AppendTo implements Frame.
+func (f *AssocResp) AppendTo(b []byte) ([]byte, error) {
+	b = f.Header.appendTo(b, f.Control())
+	var fixed [6]byte
+	putU16(fixed[0:], f.Capability)
+	putU16(fixed[2:], uint16(f.Status))
+	putU16(fixed[4:], f.AID|0xc000)
+	b = append(b, fixed[:]...)
+	return appendIEs(b, f.IEs)
+}
+
+// DecodeFromBytes implements Frame.
+func (f *AssocResp) DecodeFromBytes(data []byte) error {
+	if err := f.Header.decodeFrom(data); err != nil {
+		return err
+	}
+	rest := data[headerLen:]
+	if len(rest) < 6 {
+		return errShortFrame
+	}
+	f.Capability = getU16(rest)
+	f.Status = StatusCode(getU16(rest[2:]))
+	f.AID = getU16(rest[4:]) &^ 0xc000
+	var err error
+	f.IEs, err = parseIEs(rest[6:])
+	return err
+}
+
+// Info implements Frame.
+func (f *AssocResp) Info() string {
+	return fmt.Sprintf("Association Response, SN=%d, FN=0, %s", f.Seq.Number, f.Control().FlagString())
+}

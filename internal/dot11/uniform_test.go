@@ -1,0 +1,114 @@
+package dot11
+
+import (
+	"strings"
+	"testing"
+)
+
+// allFrames instantiates one of every frame type with distinct RA/TA
+// where the type carries them.
+func allFrames() []Frame {
+	hdr := Header{Addr1: victimMAC, Addr2: apMAC, Addr3: apMAC, Seq: SequenceControl{Number: 7}}
+	return []Frame{
+		&Ack{RA: victimMAC},
+		&CTS{RA: victimMAC},
+		&RTS{RA: victimMAC, TA: apMAC},
+		&PSPoll{AID: 1, BSSID: victimMAC, TA: apMAC},
+		&BlockAckReq{RA: victimMAC, TA: apMAC, TID: 1, StartSeq: 9},
+		&BlockAck{RA: victimMAC, TA: apMAC, TID: 1, StartSeq: 9, Bitmap: 5},
+		&Data{Header: hdr, Payload: []byte("x")},
+		NewNullFrame(victimMAC, apMAC, apMAC, 7),
+		&Beacon{Header: Header{Addr1: Broadcast, Addr2: apMAC, Addr3: apMAC}, IEs: []IE{SSIDElement("n")}},
+		&ProbeReq{Header: hdr, IEs: []IE{SSIDElement("n")}},
+		&ProbeResp{Header: hdr, IEs: []IE{SSIDElement("n")}},
+		&Auth{Header: hdr, AuthSeq: 1},
+		&AssocReq{Header: hdr},
+		&AssocResp{Header: hdr, AID: 2},
+		&Deauth{Header: hdr, Reason: ReasonUnspecified},
+		&Disassoc{Header: hdr, Reason: ReasonInactivity},
+		&Action{Header: hdr, Category: CategoryPublic, Code: 1},
+	}
+}
+
+// TestFrameInterfaceUniformity exercises the Frame interface contract
+// for every frame type: addresses are coherent with the struct
+// fields, Info is non-empty and mentions the frame's Wireshark name,
+// Control reports a stable type/subtype, and the wire round trip
+// preserves the interface values.
+func TestFrameInterfaceUniformity(t *testing.T) {
+	for _, f := range allFrames() {
+		name := f.Control().Name()
+		if name == "" {
+			t.Fatalf("%T: empty frame name", f)
+		}
+		if f.ReceiverAddress() == ZeroMAC && !f.ReceiverAddress().IsGroup() {
+			if _, isBeacon := f.(*Beacon); !isBeacon {
+				t.Fatalf("%T: zero receiver address", f)
+			}
+		}
+		info := f.Info()
+		if info == "" {
+			t.Fatalf("%T: empty Info", f)
+		}
+		firstWord := strings.Split(name, " ")[0]
+		if !strings.Contains(info, firstWord) {
+			t.Fatalf("%T: Info %q does not mention %q", f, info, firstWord)
+		}
+		wire, err := Serialize(f)
+		if err != nil {
+			t.Fatalf("%T: serialize: %v", f, err)
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", f, err)
+		}
+		if got.ReceiverAddress() != f.ReceiverAddress() {
+			t.Fatalf("%T: RA changed across the wire", f)
+		}
+		if got.TransmitterAddress() != f.TransmitterAddress() {
+			t.Fatalf("%T: TA changed across the wire", f)
+		}
+		if got.Control().Type != f.Control().Type || got.Control().Subtype != f.Control().Subtype {
+			t.Fatalf("%T: frame control changed across the wire", f)
+		}
+	}
+}
+
+// TestFrameTypeStrings covers the stringers over their full domain.
+func TestFrameTypeStrings(t *testing.T) {
+	if TypeManagement.String() != "Management" || TypeControl.String() != "Control" ||
+		TypeData.String() != "Data" {
+		t.Fatal("frame type strings wrong")
+	}
+	if !strings.Contains(FrameType(3).String(), "Reserved") {
+		t.Fatal("reserved type string wrong")
+	}
+	// Every defined type/subtype pair has a proper name; undefined
+	// pairs fall back to a descriptive string.
+	named := 0
+	for ty := FrameType(0); ty < 3; ty++ {
+		for st := Subtype(0); st < 16; st++ {
+			fc := FrameControl{Type: ty, Subtype: st}
+			if fc.Name() == "" {
+				t.Fatalf("empty name for %d/%d", ty, st)
+			}
+			if !strings.Contains(fc.Name(), "subtype") {
+				named++
+			}
+		}
+	}
+	if named < 20 {
+		t.Fatalf("only %d named type/subtype pairs", named)
+	}
+}
+
+// TestFlagStringAllFlags renders every flag position.
+func TestFlagStringAllFlags(t *testing.T) {
+	fc := FrameControl{
+		ToDS: true, FromDS: true, MoreFrag: true, Retry: true,
+		PowerMgmt: true, MoreData: true, Protected: true, Order: true,
+	}
+	if got := fc.FlagString(); got != "Flags=OPMPRFFT" {
+		t.Fatalf("FlagString = %q", got)
+	}
+}

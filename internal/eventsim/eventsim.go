@@ -1,0 +1,319 @@
+// Package eventsim provides a deterministic discrete-event simulation
+// kernel: a nanosecond-resolution virtual clock, a stable-ordered event
+// scheduler, and a seeded random number source.
+//
+// Every stochastic or time-dependent component in this repository
+// (the RF medium, MAC state machines, power accounting, mobility)
+// is driven from a single Scheduler so that experiments are exactly
+// reproducible from a seed.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in simulated time, measured in nanoseconds since the
+// start of the simulation. It is deliberately distinct from time.Time:
+// simulations never consult the wall clock.
+type Time int64
+
+// Common durations in simulation units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Duration converts a standard library duration to simulation time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Std converts simulation time to a standard library duration.
+func (t Time) Std() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String renders the time with microsecond precision, e.g. "1.234567s".
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+// Event is a scheduled callback. Events compare by time, then by
+// insertion sequence, so two events scheduled for the same instant run
+// in the order they were scheduled. This stability is what makes the
+// simulation deterministic.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int // heap index, -1 when not queued
+}
+
+// Time reports when the event will fire.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// has already fired or been cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.dead }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// ErrStopped is returned by Run variants when Stop was called.
+var ErrStopped = errors.New("eventsim: scheduler stopped")
+
+// Scheduler is a single-threaded discrete-event executor. It is not
+// safe for concurrent use; concurrent producers must funnel work
+// through an external synchronisation layer (see package core's
+// AirPort implementations).
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler whose clock starts at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now reports the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len reports the number of pending (non-cancelled) events. Cancelled
+// events still occupy the queue until they surface, so this is an
+// upper bound.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Fired reports how many events have executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Schedule runs fn at absolute time at. Scheduling in the past (or the
+// present) runs the event at the current time, after already-queued
+// events for that time.
+func (s *Scheduler) Schedule(at Time, fn func()) *Event {
+	if at < s.now {
+		at = s.now
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn, idx: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After runs fn after delay d.
+func (s *Scheduler) After(d Time, fn func()) *Event {
+	return s.Schedule(s.now+d, fn)
+}
+
+// Every schedules fn to run now+d, then every d thereafter, until the
+// returned ticker is stopped.
+func (s *Scheduler) Every(d Time, fn func()) *Ticker {
+	if d <= 0 {
+		panic("eventsim: non-positive ticker period")
+	}
+	t := &Ticker{s: s, d: d, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	s       *Scheduler
+	d       Time
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.s.After(t.d, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}
+
+// Step executes the single next pending event, advancing the clock to
+// its timestamp. It reports false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the clock would pass deadline, then
+// sets the clock to the deadline. Events scheduled exactly at the
+// deadline are executed.
+func (s *Scheduler) RunUntil(deadline Time) error {
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.stopped {
+		return ErrStopped
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return nil
+}
+
+// RunFor advances the simulation by d.
+func (s *Scheduler) RunFor(d Time) error { return s.RunUntil(s.now + d) }
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Scheduler) Run() error {
+	for s.Step() {
+		if s.stopped {
+			return ErrStopped
+		}
+	}
+	return nil
+}
+
+// Stop makes the currently running Run/RunUntil return ErrStopped
+// after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Resume clears a previous Stop so the scheduler can run again.
+func (s *Scheduler) Resume() { s.stopped = false }
+
+func (s *Scheduler) peek() *Event {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if !e.dead {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// RNG is the deterministic random source used throughout the
+// simulator. It wraps math/rand with a few distributions the channel
+// and mobility models need. A single RNG is shared per simulation so
+// replaying a seed replays the entire run.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Normal returns a Gaussian sample with the given mean and standard
+// deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// Exp returns an exponential sample with the given mean.
+func (g *RNG) Exp(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Uniform returns a uniform sample in [lo,hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Coin returns true with probability p.
+func (g *RNG) Coin(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Fork derives an independent generator whose stream is a deterministic
+// function of this generator's state. Useful for giving subsystems
+// their own streams so adding draws in one subsystem does not perturb
+// another.
+func (g *RNG) Fork() *RNG {
+	return NewRNG(g.r.Int63())
+}

@@ -1,0 +1,354 @@
+package eventsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.Schedule(30, func() { got = append(got, 3) })
+	s.Schedule(10, func() { got = append(got, 1) })
+	s.Schedule(20, func() { got = append(got, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", s.Now())
+	}
+}
+
+func TestSchedulerStableTies(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(100, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want insertion order", got)
+		}
+	}
+}
+
+func TestSchedulePastClamps(t *testing.T) {
+	s := NewScheduler()
+	s.Schedule(100, func() {
+		s.Schedule(50, func() {
+			if s.Now() != 100 {
+				t.Errorf("past event ran at %v, want 100", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestAfter(t *testing.T) {
+	s := NewScheduler()
+	fired := Time(-1)
+	s.Schedule(40, func() {
+		s.After(5, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 45 {
+		t.Fatalf("After fired at %v, want 45", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	e := s.Schedule(10, func() { ran = true })
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	// Double-cancel and nil-cancel must not panic.
+	e.Cancel()
+	var nilEv *Event
+	nilEv.Cancel()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var count int
+	s.Every(10, func() { count++ })
+	if err := s.RunUntil(95); err != nil {
+		t.Fatal(err)
+	}
+	if count != 9 {
+		t.Fatalf("ticks = %d, want 9", count)
+	}
+	if s.Now() != 95 {
+		t.Fatalf("Now() = %v, want 95 (clock advances to deadline)", s.Now())
+	}
+	// Event exactly at the deadline fires.
+	s.Schedule(100, func() { count = 100 })
+	s.RunUntil(100)
+	if count != 100 {
+		t.Fatalf("event at deadline did not fire")
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := NewScheduler()
+	s.RunFor(50)
+	s.RunFor(50)
+	if s.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", s.Now())
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	s := NewScheduler()
+	var count int
+	var tk *Ticker
+	tk = s.Every(10, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(1000)
+	if count != 3 {
+		t.Fatalf("ticks after Stop = %d, want 3", count)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	NewScheduler().Every(0, func() {})
+}
+
+func TestStopResume(t *testing.T) {
+	s := NewScheduler()
+	var count int
+	s.Every(10, func() {
+		count++
+		if count == 2 {
+			s.Stop()
+		}
+	})
+	if err := s.RunUntil(1000); err != ErrStopped {
+		t.Fatalf("RunUntil err = %v, want ErrStopped", err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	s.Resume()
+	if err := s.RunUntil(55); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("count after resume = %d, want 5", count)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 7; i++ {
+		s.Schedule(Time(i), func() {})
+	}
+	s.Run()
+	if s.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", s.Fired())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	s := NewScheduler()
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Duration(1500*time.Microsecond) != 1500*Microsecond {
+		t.Fatal("Duration conversion wrong")
+	}
+	if (2 * Second).Std() != 2*time.Second {
+		t.Fatal("Std conversion wrong")
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds() = %v, want 1.5", got)
+	}
+	if got := (25 * Microsecond).Micros(); got != 25 {
+		t.Fatalf("Micros() = %v, want 25", got)
+	}
+	if got := (1234567 * Microsecond).String(); got != "1.234567s" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// Property: however a batch of events is scheduled, they execute in
+// nondecreasing time order and the clock never runs backwards.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := NewScheduler()
+		var times []Time
+		for _, off := range offsets {
+			at := Time(off)
+			s.Schedule(at, func() { times = append(times, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two schedulers fed the same schedule fire identically.
+func TestDeterminismProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		run := func() []Time {
+			s := NewScheduler()
+			var times []Time
+			for _, off := range offsets {
+				s.Schedule(Time(off), func() { times = append(times, s.Now()) })
+			}
+			s.Run()
+			return times
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGCoin(t *testing.T) {
+	g := NewRNG(1)
+	if g.Coin(0) {
+		t.Fatal("Coin(0) = true")
+	}
+	if !g.Coin(1) {
+		t.Fatal("Coin(1) = false")
+	}
+	heads := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.Coin(0.3) {
+			heads++
+		}
+	}
+	frac := float64(heads) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Coin(0.3) frequency = %v", frac)
+	}
+}
+
+func TestRNGUniform(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(5, 10)
+		if v < 5 || v >= 10 {
+			t.Fatalf("Uniform(5,10) = %v out of range", v)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	g := NewRNG(11)
+	const n = 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := g.Normal(3, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if mean < 2.9 || mean > 3.1 {
+		t.Fatalf("mean = %v, want ~3", mean)
+	}
+	if variance < 3.6 || variance > 4.4 {
+		t.Fatalf("variance = %v, want ~4", variance)
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	g := NewRNG(5)
+	f1 := g.Fork()
+	g2 := NewRNG(5)
+	f2 := g2.Fork()
+	for i := 0; i < 50; i++ {
+		if f1.Float64() != f2.Float64() {
+			t.Fatal("forked streams not reproducible")
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// An event chain where each event schedules the next simulates the
+	// MAC's DIFS/SIFS chains; depth must not be limited.
+	s := NewScheduler()
+	depth := 0
+	var next func()
+	next = func() {
+		depth++
+		if depth < 1000 {
+			s.After(1, next)
+		}
+	}
+	s.After(1, next)
+	s.Run()
+	if depth != 1000 {
+		t.Fatalf("depth = %d, want 1000", depth)
+	}
+	if s.Now() != 1000 {
+		t.Fatalf("Now() = %v, want 1000", s.Now())
+	}
+}

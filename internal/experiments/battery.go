@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"politewifi/internal/power"
+)
+
+// BatteryRow is one camera's lifetime analysis.
+type BatteryRow struct {
+	Battery        power.Battery
+	AdvertisedLife string
+	AttackDrawMW   float64
+	LifetimeHours  float64
+}
+
+// BatteryResult reproduces the §4.2 arithmetic: what the measured
+// 900-fps attack draw does to real camera batteries.
+type BatteryResult struct {
+	Rows []BatteryRow
+	// PaperCircle2Hours / PaperXT2Hours are the paper's numbers
+	// (~6.7 h and ~16.7 h) for comparison.
+	PaperCircle2Hours, PaperXT2Hours float64
+}
+
+// BatteryLife runs E8 using the measured peak draw from a Figure 6
+// run (pass the paper's 360 mW to reproduce its table exactly).
+func BatteryLife(attackDrawMW float64) *BatteryResult {
+	out := &BatteryResult{PaperCircle2Hours: 6.7, PaperXT2Hours: 16.7}
+	for _, row := range []struct {
+		b    power.Battery
+		life string
+	}{
+		{power.LogitechCircle2, "up to 3 months"},
+		{power.BlinkXT2, "up to 2 years"},
+	} {
+		out.Rows = append(out.Rows, BatteryRow{
+			Battery:        row.b,
+			AdvertisedLife: row.life,
+			AttackDrawMW:   attackDrawMW,
+			LifetimeHours:  row.b.LifetimeHours(attackDrawMW),
+		})
+	}
+	return out
+}
+
+// Render prints the lifetime table.
+func (r *BatteryResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§4.2: battery life of IoT cameras under a 900 fps attack\n")
+	fmt.Fprintf(&b, "%-28s %-16s %12s %14s\n", "Device", "Advertised", "Draw (mW)", "Lifetime (h)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-28s %-16s %12.0f %14.1f\n",
+			row.Battery.String(), row.AdvertisedLife, row.AttackDrawMW, row.LifetimeHours)
+	}
+	fmt.Fprintf(&b, "paper: Circle 2 ≈ %.1f h, Blink XT2 ≈ %.1f h\n",
+		r.PaperCircle2Hours, r.PaperXT2Hours)
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"politewifi/internal/csi"
+	"politewifi/internal/eventsim"
+)
+
+// RateSweepPoint is one sensing-rate operating point.
+type RateSweepPoint struct {
+	RateHz   float64
+	Accuracy float64 // held-out activity classification accuracy
+}
+
+// RateSweepResult is the ablation behind the paper's choice of
+// ~150 fake frames per second for sensing (§4.1) and its remark that
+// WiFi sensing needs 100–1000 pkt/s (§4.3): below ~50 Hz the typing
+// band (≥3.5 Hz strikes plus harmonics) aliases and classification
+// degrades; above ~100 Hz accuracy saturates.
+type RateSweepResult struct {
+	Points []RateSweepPoint
+	// SaturationHz is the lowest swept rate achieving within 2% of
+	// the best accuracy.
+	SaturationHz float64
+}
+
+// SensingRateSweep runs the ablation: same activities, sampled at
+// increasing CSI rates, classified with the standard pipeline.
+func SensingRateSweep(seed int64) *RateSweepResult {
+	out := &RateSweepResult{}
+	rates := []float64{5, 10, 25, 50, 100, 150, 300}
+	best := 0.0
+	for _, fs := range rates {
+		acc := sweepAccuracy(seed, fs)
+		out.Points = append(out.Points, RateSweepPoint{RateHz: fs, Accuracy: acc})
+		if acc > best {
+			best = acc
+		}
+	}
+	for _, p := range out.Points {
+		if p.Accuracy >= best-0.02 {
+			out.SaturationHz = p.RateHz
+			break
+		}
+	}
+	return out
+}
+
+// sweepAccuracy trains/tests the ground/hold/typing classifier at one
+// sampling rate.
+func sweepAccuracy(seed int64, fs float64) float64 {
+	winLen := int(fs * 4)
+	if winLen < 8 {
+		winLen = 8
+	}
+	collect := func(act func(*eventsim.RNG) csi.Activity, seedOff int64, secs float64) [][]float64 {
+		rng := eventsim.NewRNG(seed + seedOff)
+		scene := csi.NewScene(rng.Fork())
+		tl := (&csi.Timeline{}).Add(0, secs, act(rng.Fork()))
+		amp := scene.Collect(tl, fs, secs).Amplitudes(17)
+		var wins [][]float64
+		for i := 0; i+winLen <= len(amp); i += winLen {
+			wins = append(wins, amp[i:i+winLen])
+		}
+		return wins
+	}
+	ground := func(*eventsim.RNG) csi.Activity { return csi.OnGround() }
+	hold := func(r *eventsim.RNG) csi.Activity { return csi.Hold(r) }
+	typing := func(r *eventsim.RNG) csi.Activity { return csi.Typing(r) }
+	train := map[string][][]float64{
+		"on-ground": collect(ground, 21, 24),
+		"hold":      collect(hold, 22, 24),
+		"typing":    collect(typing, 23, 24),
+	}
+	test := map[string][][]float64{
+		"on-ground": collect(ground, 31, 16),
+		"hold":      collect(hold, 32, 16),
+		"typing":    collect(typing, 33, 16),
+	}
+	c := csi.Train(train, fs)
+	acc, _ := c.ConfusionMatrix(test, fs)
+	return acc
+}
+
+// Render prints the sweep.
+func (r *RateSweepResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation: sensing quality vs fake-frame rate\n")
+	fmt.Fprintf(&b, "%10s %10s\n", "rate (Hz)", "accuracy")
+	for _, p := range r.Points {
+		bar := strings.Repeat("#", int(p.Accuracy*40))
+		fmt.Fprintf(&b, "%10.0f %9.0f%% %s\n", p.RateHz, 100*p.Accuracy, bar)
+	}
+	fmt.Fprintf(&b, "coarse activity classes saturate by ~%.0f Hz; keystroke-grade detail\n", r.SaturationHz)
+	b.WriteString("(7–8 Hz strike harmonics) needs ≥50–100 Hz — hence the paper's 100–1000 pkt/s guidance.\n")
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"politewifi/internal/oui"
+	"politewifi/internal/world"
+)
+
+// Table2Result reproduces the §3 large-scale study: the wardrive
+// census of WiFi devices and APs that respond to fake frames.
+type Table2Result struct {
+	Run *world.Result
+
+	// ResponseRate is the headline number (the paper: 100%).
+	ResponseRate float64
+	// Paper totals for comparison.
+	PaperClients, PaperAPs int
+}
+
+// Table2 runs E5 at the given census scale (1.0 = the full 5,328
+// devices; smaller scales keep unit tests quick).
+func Table2(seed int64, scale float64) *Table2Result {
+	cfg := world.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Scale = scale
+	res := world.Run(cfg)
+	out := &Table2Result{
+		Run:          res,
+		PaperClients: oui.TotalClients,
+		PaperAPs:     oui.TotalAPs,
+	}
+	if res.Total() > 0 {
+		out.ResponseRate = float64(res.TotalResponded()) / float64(res.Total())
+	}
+	return out
+}
+
+func topVendors(m map[string]int, n int) []oui.CensusEntry {
+	entries := make([]oui.CensusEntry, 0, len(m))
+	for v, c := range m {
+		entries = append(entries, oui.CensusEntry{Vendor: v, Count: c})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Vendor < entries[j].Vendor
+	})
+	if n > len(entries) {
+		n = len(entries)
+	}
+	return entries[:n]
+}
+
+// Render prints the two top-20 vendor columns of Table 2 plus totals.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2: WiFi devices and APs that respond to our fake 802.11 frames\n\n")
+	clients := topVendors(r.Run.ClientVendors, 20)
+	aps := topVendors(r.Run.APVendors, 20)
+	fmt.Fprintf(&b, "%-24s %9s   | %-24s %9s\n", "Client vendor", "# devices", "AP vendor", "# devices")
+	rows := len(clients)
+	if len(aps) > rows {
+		rows = len(aps)
+	}
+	var cOthers, aOthers int
+	for v, c := range r.Run.ClientVendors {
+		if !inTop(clients, v) {
+			cOthers += c
+		}
+	}
+	for v, c := range r.Run.APVendors {
+		if !inTop(aps, v) {
+			aOthers += c
+		}
+	}
+	for i := 0; i < rows; i++ {
+		var l, rgt string
+		if i < len(clients) {
+			l = fmt.Sprintf("%-24s %9d", clients[i].Vendor, clients[i].Count)
+		} else {
+			l = fmt.Sprintf("%-24s %9s", "", "")
+		}
+		if i < len(aps) {
+			rgt = fmt.Sprintf("%-24s %9d", aps[i].Vendor, aps[i].Count)
+		}
+		fmt.Fprintf(&b, "%s   | %s\n", l, rgt)
+	}
+	fmt.Fprintf(&b, "%-24s %9d   | %-24s %9d\n", "Others", cOthers, "Others", aOthers)
+	fmt.Fprintf(&b, "%-24s %9d   | %-24s %9d\n", "Total", r.Run.ClientsResponded, "Total", r.Run.APsResponded)
+	fmt.Fprintf(&b, "\ndiscovered %d devices over %d stops (~%.0f min drive)\n",
+		r.Run.Total(), r.Run.Stops, r.Run.DriveMinutes)
+	fmt.Fprintf(&b, "responded to fake frames: %d (%.1f%%)\n",
+		r.Run.TotalResponded(), 100*r.ResponseRate)
+	if len(r.Run.NonResponders) > 0 {
+		fmt.Fprintf(&b, "non-responders: %d (out of RF range during their stop)\n", len(r.Run.NonResponders))
+	}
+	return b.String()
+}
+
+func inTop(top []oui.CensusEntry, vendor string) bool {
+	for _, e := range top {
+		if e.Vendor == vendor {
+			return true
+		}
+	}
+	return false
+}

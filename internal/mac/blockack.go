@@ -1,0 +1,231 @@
+package mac
+
+import (
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+	"politewifi/internal/phy"
+)
+
+// Block-acknowledgement support (802.11e/n): a sender transmits a
+// burst of QoS data MPDUs with the Block Ack policy (no per-frame
+// ACK), then a BlockAckReq; the receiver answers with a BlockAck
+// bitmap and the sender retransmits only the gaps. This is the
+// aggregation-era counterpart of the paper's single-frame exchange —
+// the immediate-ACK path that Polite WiFi rides remains mandatory for
+// non-QoS frames, which is exactly what the attacker uses.
+
+// baWindowSize is the compressed-bitmap window (64 MPDUs).
+const baWindowSize = 64
+
+// baRecvState is the receiver side of one block-ack agreement.
+type baRecvState struct {
+	startSeq uint16
+	received map[uint16]bool
+}
+
+// baSendState tracks an in-flight burst on the sender.
+type baSendState struct {
+	peer     dot11.MAC
+	tid      uint8
+	payloads [][]byte
+	seqs     []uint16
+	rate     phy.Rate
+	attempt  int
+	onDone   func(delivered int)
+}
+
+// SendBurst transmits the payloads as a block-acknowledged burst to
+// the peer, retransmitting gaps once. onDone (optional) receives the
+// number of MPDUs the receiver confirmed. Requires an established
+// link (association for clients). The burst bypasses the per-MPDU
+// txq: frames go out SIFS-spaced like an aggregate.
+func (s *Station) SendBurst(to dot11.MAC, tid uint8, payloads [][]byte, onDone func(delivered int)) error {
+	if len(payloads) == 0 || len(payloads) > baWindowSize {
+		return errBurstSize
+	}
+	if s.Role == RoleClient && !s.associated {
+		return errNotAssociated
+	}
+	st := &baSendState{
+		peer:     to,
+		tid:      tid & 0xf,
+		payloads: payloads,
+		rate:     s.DataRateFor(to),
+		onDone:   onDone,
+	}
+	s.baSend = st
+	s.startBurst(st, nil)
+	return nil
+}
+
+var (
+	errBurstSize     = errNew("mac: burst must contain 1..64 MPDUs")
+	errNotAssociated = errNew("mac: not associated")
+)
+
+func errNew(msg string) error { return &macError{msg} }
+
+type macError struct{ msg string }
+
+func (e *macError) Error() string { return e.msg }
+
+// startBurst transmits the MPDUs at indices idx (nil = all) then the
+// BlockAckReq.
+func (s *Station) startBurst(st *baSendState, idx []int) {
+	if idx == nil {
+		idx = make([]int, len(st.payloads))
+		for i := range idx {
+			idx[i] = i
+		}
+		st.seqs = make([]uint16, len(st.payloads))
+		for i := range st.seqs {
+			st.seqs[i] = s.nextSeq()
+		}
+	}
+	s.sched.After(s.band.DIFS(), func() { s.burstStep(st, idx, 0) })
+}
+
+func (s *Station) burstStep(st *baSendState, idx []int, k int) {
+	if k == len(idx) {
+		// Burst done: solicit the block ack.
+		s.sched.After(s.band.SIFS(), func() { s.sendBAR(st) })
+		return
+	}
+	if s.Radio.CCABusy() || s.Radio.Transmitting() {
+		s.sched.After(s.band.SlotTime(), func() { s.burstStep(st, idx, k) })
+		return
+	}
+	i := idx[k]
+	d := &dot11.Data{
+		Header: dot11.Header{
+			Addr2: s.Addr,
+			Seq:   dot11.SequenceControl{Number: st.seqs[i]},
+		},
+		QoS:       true,
+		TID:       st.tid,
+		AckPolicy: dot11.AckPolicyBlockAck,
+		Payload:   append([]byte(nil), st.payloads[i]...),
+	}
+	if s.Role == RoleClient {
+		d.FC.ToDS = true
+		d.Addr1 = s.bssid
+		d.Addr3 = st.peer
+	} else {
+		d.FC.FromDS = true
+		d.Addr1 = st.peer
+		d.Addr3 = s.Addr
+	}
+	wire, err := dot11.Serialize(d)
+	if err != nil {
+		return
+	}
+	end, err := s.Radio.Transmit(wire, st.rate)
+	if err != nil {
+		s.sched.After(s.band.SlotTime(), func() { s.burstStep(st, idx, k) })
+		return
+	}
+	s.Stats.TxData++
+	// SIFS spacing between MPDUs approximates an A-MPDU on a
+	// symbol-accurate simulator without aggregation framing.
+	s.sched.Schedule(end+s.band.SIFS(), func() { s.burstStep(st, idx, k+1) })
+}
+
+func (s *Station) sendBAR(st *baSendState) {
+	bar := &dot11.BlockAckReq{
+		RA: st.peer, TA: s.Addr, TID: st.tid, StartSeq: st.seqs[0],
+	}
+	wire, err := dot11.Serialize(bar)
+	if err != nil {
+		return
+	}
+	end, err := s.Radio.Transmit(wire, phy.ControlRate(st.rate))
+	if err != nil {
+		s.sched.After(s.band.SlotTime(), func() { s.sendBAR(st) })
+		return
+	}
+	// BlockAck timeout.
+	timeout := end + s.band.SIFS() + phy.Airtime(phy.ControlRate(st.rate), 28) + 15*eventsim.Microsecond
+	st.attempt++
+	s.sched.Schedule(timeout, func() {
+		if s.baSend == st && st.attempt <= 2 {
+			s.sendBAR(st) // BA lost: ask again
+		}
+	})
+}
+
+// handleBlockAck resolves the sender's burst with the receiver's
+// bitmap.
+func (s *Station) handleBlockAck(ba *dot11.BlockAck) {
+	st := s.baSend
+	if st == nil || ba.TA != st.peer {
+		return
+	}
+	var missing []int
+	delivered := 0
+	for i, seq := range st.seqs {
+		off := int((seq - ba.StartSeq) & 0xfff)
+		if off < baWindowSize && ba.Received(off) {
+			delivered++
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) > 0 && st.attempt <= 1 {
+		// One retransmission round for the gaps.
+		s.Stats.TxRetries += uint64(len(missing))
+		s.startBurst(st, missing)
+		return
+	}
+	s.baSend = nil
+	if st.onDone != nil {
+		st.onDone(delivered)
+	}
+}
+
+// recvBurstFrame records a block-ack-policy MPDU at the receiver.
+func (s *Station) recvBurstFrame(d *dot11.Data) {
+	key := baKey{d.Addr2, d.TID}
+	st, ok := s.baRecv[key]
+	if !ok {
+		st = &baRecvState{startSeq: d.Seq.Number, received: make(map[uint16]bool)}
+		s.baRecv[key] = st
+	}
+	st.received[d.Seq.Number] = true
+}
+
+// handleBAR answers a BlockAckReq with the current bitmap at SIFS —
+// like the ACK, this response is generated without consulting any
+// higher layer.
+func (s *Station) handleBAR(bar *dot11.BlockAckReq, solicitRate phy.Rate) {
+	key := baKey{bar.TA, bar.TID}
+	st, ok := s.baRecv[key]
+	if !ok {
+		st = &baRecvState{startSeq: bar.StartSeq, received: make(map[uint16]bool)}
+		s.baRecv[key] = st
+	}
+	var bitmap uint64
+	for off := 0; off < baWindowSize; off++ {
+		seq := (bar.StartSeq + uint16(off)) & 0xfff
+		if st.received[seq] {
+			bitmap |= 1 << off
+		}
+	}
+	ba := &dot11.BlockAck{
+		RA: bar.TA, TA: s.Addr, TID: bar.TID, StartSeq: bar.StartSeq, Bitmap: bitmap,
+	}
+	wire, err := dot11.Serialize(ba)
+	if err != nil {
+		return
+	}
+	s.sched.After(s.band.SIFS(), func() {
+		if s.Radio.Transmitting() {
+			return
+		}
+		s.Radio.Transmit(wire, phy.ControlRate(solicitRate))
+	})
+}
+
+type baKey struct {
+	peer dot11.MAC
+	tid  uint8
+}

@@ -1,0 +1,166 @@
+package mac
+
+import (
+	"testing"
+
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+	"politewifi/internal/phy"
+	"politewifi/internal/radio"
+)
+
+// openNet builds an open (unencrypted) AP+client pair so burst
+// payloads flow without CCMP, plus the monitor sniffer.
+func openNet(t *testing.T) *testNet {
+	t.Helper()
+	m := quietMedium()
+	rng := eventsim.NewRNG(42)
+	n := &testNet{m: m, sched: m.Sched}
+	n.ap = New(m, rng, Config{
+		Name: "ap", Addr: apAddr, Role: RoleAP, Profile: ProfileGenericAP,
+		SSID: "open", Position: radio.Position{X: 0}, Band: phy.Band2GHz, Channel: 6,
+	})
+	n.client = New(m, rng, Config{
+		Name: "client", Addr: clientAddr, Role: RoleClient, Profile: ProfileGenericClient,
+		SSID: "open", Position: radio.Position{X: 5}, Band: phy.Band2GHz, Channel: 6,
+	})
+	n.attacker = m.NewRadio("attacker", radio.Position{X: 10}, phy.Band2GHz, 6)
+	n.attacker.SetHandler(func(rx radio.Reception) {
+		if !rx.FCSOK {
+			return
+		}
+		if f, err := dot11.Decode(rx.Data); err == nil {
+			n.captured = append(n.captured, f)
+		}
+	})
+	n.associate(t)
+	return n
+}
+
+func TestSendBurstDelivered(t *testing.T) {
+	n := openNet(t)
+	payloads := make([][]byte, 16)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i)}
+	}
+	delivered := -1
+	if err := n.client.SendBurst(apAddr, 3, payloads, func(d int) { delivered = d }); err != nil {
+		t.Fatal(err)
+	}
+	n.sched.RunFor(100 * eventsim.Millisecond)
+	if delivered != 16 {
+		t.Fatalf("delivered = %d, want 16", delivered)
+	}
+	// The burst's MPDUs must NOT have drawn immediate ACKs; only the
+	// association exchange (2 client frames) did.
+	var bas, acksToClient int
+	for _, f := range n.captured {
+		switch ff := f.(type) {
+		case *dot11.BlockAck:
+			bas++
+			if ff.RA != clientAddr {
+				t.Fatalf("BlockAck RA = %v", ff.RA)
+			}
+		case *dot11.Ack:
+			_ = ff
+			acksToClient++
+		}
+	}
+	if bas == 0 {
+		t.Fatal("no BlockAck captured")
+	}
+	// 2 assoc ACKs to client + 2 ACKs to AP = 4 total normal ACKs;
+	// any more would mean burst MPDUs were normal-ACKed.
+	if acksToClient > 4 {
+		t.Fatalf("normal ACKs = %d; burst MPDUs must not be immediately ACKed", acksToClient)
+	}
+	if n.ap.Stats.TxRetries != 0 && delivered != 16 {
+		t.Fatalf("unexpected retries")
+	}
+}
+
+func TestSendBurstRetransmitsGaps(t *testing.T) {
+	// A lossy medium: some MPDUs fail, the bitmap exposes the gaps,
+	// and a single retransmission round recovers (most of) them.
+	sched := eventsim.NewScheduler()
+	rng := eventsim.NewRNG(7)
+	m := radio.NewMedium(sched, rng, radio.Config{
+		PathLoss:        radio.LogDistance{Exponent: 3.0},
+		FadingSigmaDB:   5,
+		CaptureMarginDB: 10,
+	})
+	n := &testNet{m: m, sched: sched}
+	n.ap = New(m, eventsim.NewRNG(1), Config{
+		Name: "ap", Addr: apAddr, Role: RoleAP, Profile: ProfileGenericAP,
+		SSID: "open", Position: radio.Position{}, Band: phy.Band2GHz, Channel: 6,
+	})
+	n.client = New(m, eventsim.NewRNG(2), Config{
+		Name: "client", Addr: clientAddr, Role: RoleClient, Profile: ProfileGenericClient,
+		SSID: "open", Position: radio.Position{X: 58}, Band: phy.Band2GHz, Channel: 6,
+	})
+	n.associate(t)
+
+	payloads := make([][]byte, 32)
+	for i := range payloads {
+		payloads[i] = make([]byte, 1400) // long frames at range: lossy
+	}
+	delivered := -1
+	if err := n.client.SendBurst(apAddr, 0, payloads, func(d int) { delivered = d }); err != nil {
+		t.Fatal(err)
+	}
+	n.sched.RunFor(300 * eventsim.Millisecond)
+	if delivered < 0 {
+		t.Fatal("burst never completed")
+	}
+	if delivered < 20 {
+		t.Fatalf("delivered = %d of 32, want most after retransmission", delivered)
+	}
+	if n.client.Stats.TxRetries == 0 {
+		t.Fatal("lossy burst produced no gap retransmissions — suspicious")
+	}
+}
+
+func TestSendBurstValidation(t *testing.T) {
+	n := openNet(t)
+	if err := n.client.SendBurst(apAddr, 0, nil, nil); err == nil {
+		t.Fatal("empty burst accepted")
+	}
+	if err := n.client.SendBurst(apAddr, 0, make([][]byte, 65), nil); err == nil {
+		t.Fatal("oversized burst accepted")
+	}
+	// Unassociated client refuses.
+	m := quietMedium()
+	lone := New(m, eventsim.NewRNG(1), Config{
+		Name: "lone", Addr: clientAddr, Role: RoleClient, Profile: ProfileGenericClient,
+		SSID: "x", Position: radio.Position{}, Band: phy.Band2GHz, Channel: 1,
+	})
+	if err := lone.SendBurst(apAddr, 0, [][]byte{{1}}, nil); err == nil {
+		t.Fatal("unassociated burst accepted")
+	}
+}
+
+// TestBARFromStrangerAnswered: the block-ack machinery is as polite
+// as the ACK machinery — a BAR from a never-seen transmitter gets a
+// BlockAck back (with an empty bitmap), no questions asked.
+func TestBARFromStrangerAnswered(t *testing.T) {
+	n := openNet(t)
+	n.captured = nil
+	bar := &dot11.BlockAckReq{RA: clientAddr, TA: fakeAddr, TID: 2, StartSeq: 100}
+	n.inject(t, bar, phy.Rate24)
+	n.sched.RunFor(5 * eventsim.Millisecond)
+	var got *dot11.BlockAck
+	for _, f := range n.captured {
+		if ba, ok := f.(*dot11.BlockAck); ok {
+			got = ba
+		}
+	}
+	if got == nil {
+		t.Fatal("no BlockAck elicited by fake BAR")
+	}
+	if got.RA != fakeAddr {
+		t.Fatalf("BlockAck RA = %v, want the fake MAC", got.RA)
+	}
+	if got.Bitmap != 0 {
+		t.Fatalf("bitmap = %x, want empty (nothing was received)", got.Bitmap)
+	}
+}

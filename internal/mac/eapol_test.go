@@ -1,0 +1,184 @@
+package mac
+
+import (
+	"bytes"
+	"testing"
+
+	"politewifi/internal/crypto80211"
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+	"politewifi/internal/phy"
+	"politewifi/internal/radio"
+)
+
+// TestHandshakeFramesOnAir: associating to an RSN network puts
+// exactly four EAPOL-Key messages on the air, in order, and the
+// resulting sessions interoperate.
+func TestHandshakeFramesOnAir(t *testing.T) {
+	n := newTestNet(t, ProfileGenericAP, ProfileGenericClient)
+	n.associate(t)
+
+	var msgs []uint8
+	for _, f := range n.captured {
+		d, ok := f.(*dot11.Data)
+		if !ok || !crypto80211.IsEAPOL(d.Payload) {
+			continue
+		}
+		k, err := crypto80211.ParseEAPOLKey(d.Payload)
+		if err != nil {
+			t.Fatalf("malformed EAPOL on air: %v", err)
+		}
+		msgs = append(msgs, k.MsgNum)
+	}
+	want := []uint8{1, 2, 3, 4}
+	if len(msgs) != 4 {
+		t.Fatalf("EAPOL messages on air = %v, want %v", msgs, want)
+	}
+	for i := range want {
+		if msgs[i] != want[i] {
+			t.Fatalf("EAPOL order = %v", msgs)
+		}
+	}
+	// Keys installed on both sides and interoperable (exercised by
+	// the encrypted data flow).
+	if n.client.Session() == nil {
+		t.Fatal("client session missing after 4-way handshake")
+	}
+	var delivered []byte
+	n.ap.OnDeliver = func(f dot11.Frame, rx radio.Reception) {
+		if d, ok := f.(*dot11.Data); ok {
+			delivered = d.Payload
+		}
+	}
+	n.client.SendData(apAddr, []byte("post-handshake secret"))
+	n.sched.RunFor(50 * eventsim.Millisecond)
+	if string(delivered) != "post-handshake secret" {
+		t.Fatalf("delivered = %q", delivered)
+	}
+}
+
+// TestHandshakeNonceFreshness: two separate associations derive
+// different temporal keys (nonces are drawn fresh).
+func TestHandshakeNonceFreshness(t *testing.T) {
+	n := newTestNet(t, ProfileGenericAP, ProfileGenericClient)
+	n.associate(t)
+	tk1 := n.client.Session().TK()
+
+	// Kick the client and let it rejoin.
+	n.ap.sendDeauth(clientAddr, dot11.ReasonDeauthLeaving)
+	n.sched.RunFor(100 * eventsim.Millisecond)
+	if n.client.Associated() {
+		t.Fatal("client still associated after AP deauth")
+	}
+	ok := false
+	n.client.Associate(apAddr, func(v bool) { ok = v })
+	n.sched.RunFor(400 * eventsim.Millisecond)
+	if !ok {
+		t.Fatal("re-association failed")
+	}
+	tk2 := n.client.Session().TK()
+	if bytes.Equal(tk1, tk2) {
+		t.Fatal("temporal key reused across associations")
+	}
+}
+
+// TestHandshakeWrongPassphraseFails: a client configured with the
+// wrong passphrase completes 802.11 auth/assoc but its M2 MIC fails
+// at the AP, so no keys are ever installed.
+func TestHandshakeWrongPassphraseFails(t *testing.T) {
+	m := quietMedium()
+	rng := eventsim.NewRNG(42)
+	ap := New(m, rng, Config{
+		Name: "ap", Addr: apAddr, Role: RoleAP, Profile: ProfileGenericAP,
+		SSID: "HomeNet", Passphrase: "the right passphrase",
+		Position: radio.Position{}, Band: phy.Band2GHz, Channel: 6,
+	})
+	cl := New(m, rng, Config{
+		Name: "client", Addr: clientAddr, Role: RoleClient, Profile: ProfileGenericClient,
+		SSID: "HomeNet", Passphrase: "WRONG passphrase",
+		Position: radio.Position{X: 5}, Band: phy.Band2GHz, Channel: 6,
+	})
+	result := -1
+	cl.Associate(apAddr, func(v bool) {
+		if v {
+			result = 1
+		} else {
+			result = 0
+		}
+	})
+	m.Sched.RunFor(500 * eventsim.Millisecond)
+	if result != 0 {
+		t.Fatalf("association result = %d, want failure (0)", result)
+	}
+	if cl.Session() != nil {
+		t.Fatal("client installed a session with the wrong PMK")
+	}
+	if len(ap.AssociatedClients()) == 1 {
+		// 802.11-level association may exist, but no keys do.
+		if p := ap.clients[clientAddr]; p != nil && p.session != nil {
+			t.Fatal("AP installed a session for a wrong-PMK client")
+		}
+	}
+	if ap.Stats.RxDiscarded == 0 {
+		t.Fatal("AP never rejected the bad M2 MIC")
+	}
+}
+
+// TestHandshakeForgedM3Rejected: an attacker injecting a fake M3
+// (random MIC) cannot trick the client into installing keys.
+func TestHandshakeForgedM3Rejected(t *testing.T) {
+	n := newTestNet(t, ProfileGenericAP, ProfileGenericClient)
+	// Start a join but pause after M2 by stopping the AP's reply: we
+	// instead race a forged M3 in from the attacker before the real
+	// one. Simplest deterministic variant: complete the handshake,
+	// then send a forged M3 with a higher replay counter — the client
+	// must reject it (bad MIC) and keep its session.
+	n.associate(t)
+	goodTK := n.client.Session().TK()
+
+	forged := &crypto80211.EAPOLKey{MsgNum: 3, ReplayCounter: 99}
+	forged.Sign(bytes.Repeat([]byte{0xAA}, 16)) // attacker has no KCK
+	d := &dot11.Data{
+		Header: dot11.Header{
+			FC:    dot11.FrameControl{FromDS: true},
+			Addr1: clientAddr, Addr2: apAddr, Addr3: apAddr,
+			Seq: dot11.SequenceControl{Number: 999},
+		},
+		Payload: forged.Marshal(),
+	}
+	n.inject(t, d, phy.Rate24)
+	n.sched.RunFor(50 * eventsim.Millisecond)
+
+	if !bytes.Equal(n.client.Session().TK(), goodTK) {
+		t.Fatal("forged M3 changed the installed key")
+	}
+	if n.client.Stats.RxDiscarded == 0 {
+		t.Fatal("forged M3 not counted as discarded")
+	}
+}
+
+// TestEAPOLParseErrors covers the codec edges.
+func TestEAPOLParseErrors(t *testing.T) {
+	if _, err := crypto80211.ParseEAPOLKey([]byte{0x88, 0x8e, 1}); err == nil {
+		t.Fatal("short EAPOL parsed")
+	}
+	k := &crypto80211.EAPOLKey{MsgNum: 5}
+	if _, err := crypto80211.ParseEAPOLKey(k.Marshal()); err == nil {
+		t.Fatal("message number 5 accepted")
+	}
+	if crypto80211.IsEAPOL([]byte{0x01}) {
+		t.Fatal("short payload misdetected as EAPOL")
+	}
+	good := &crypto80211.EAPOLKey{MsgNum: 2, ReplayCounter: 7}
+	good.Sign([]byte("0123456789abcdef"))
+	parsed, err := crypto80211.ParseEAPOLKey(good.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Verify([]byte("0123456789abcdef")) {
+		t.Fatal("round-tripped MIC does not verify")
+	}
+	if parsed.Verify([]byte("fedcba9876543210")) {
+		t.Fatal("MIC verified under the wrong KCK")
+	}
+}

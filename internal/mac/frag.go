@@ -1,0 +1,111 @@
+package mac
+
+import (
+	"politewifi/internal/dot11"
+	"politewifi/internal/radio"
+)
+
+// MSDU fragmentation (802.11-2016 §10.4): payloads above the
+// fragmentation threshold are split into MPDUs that share a sequence
+// number and count up the fragment field, each acknowledged
+// individually, with More Fragments set on all but the last. The
+// receiver reassembles in order and delivers the original payload.
+// Under CCMP each fragment is protected separately (its own PN).
+
+// SetFragmentationThreshold enables fragmentation for payloads longer
+// than n bytes (0 disables). Typical real-world values are 256–2346.
+func (s *Station) SetFragmentationThreshold(n int) { s.fragThreshold = n }
+
+// fragmentPayload splits a payload at the threshold.
+func fragmentPayload(payload []byte, threshold int) [][]byte {
+	if threshold <= 0 || len(payload) <= threshold {
+		return [][]byte{payload}
+	}
+	var out [][]byte
+	for len(payload) > 0 {
+		n := threshold
+		if n > len(payload) {
+			n = len(payload)
+		}
+		out = append(out, payload[:n])
+		payload = payload[n:]
+	}
+	return out
+}
+
+// sendFragments queues the fragments of one MSDU: same sequence
+// number, ascending fragment numbers, MoreFrag on all but the last.
+func (s *Station) sendFragments(to dot11.MAC, payload []byte) error {
+	frags := fragmentPayload(payload, s.fragThreshold)
+	seq := s.nextSeq()
+	for i, part := range frags {
+		d := &dot11.Data{
+			Header: dot11.Header{
+				Addr2: s.Addr,
+				Seq:   dot11.SequenceControl{Number: seq, Fragment: uint8(i)},
+			},
+			Payload: append([]byte(nil), part...),
+		}
+		d.FC.MoreFrag = i < len(frags)-1
+		switch s.Role {
+		case RoleClient:
+			d.FC.ToDS = true
+			d.Addr1 = s.bssid
+			d.Addr3 = to
+			if s.session != nil {
+				if err := s.session.Encrypt(d); err != nil {
+					return err
+				}
+			}
+		case RoleAP:
+			d.FC.FromDS = true
+			d.Addr1 = to
+			d.Addr3 = s.Addr
+			if sess := s.sessionFor(to); sess != nil {
+				if err := sess.Encrypt(d); err != nil {
+					return err
+				}
+			}
+		}
+		s.enqueue(&txJob{frame: d, needAck: true, rate: s.DataRateFor(d.Addr1), seqSet: true})
+	}
+	return nil
+}
+
+// reasmState is a per-transmitter reassembly buffer (one MSDU at a
+// time, as the standard requires).
+type reasmState struct {
+	seq      uint16
+	nextFrag uint8
+	buf      []byte
+}
+
+// handleFragment consumes a decrypted fragment; it returns the
+// completed MSDU payload when the last fragment lands, or nil while
+// the sequence is still open. Out-of-order or stale fragments reset
+// the buffer (the standard discards on any gap).
+func (s *Station) handleFragment(d *dot11.Data, rx radio.Reception) []byte {
+	st := s.reasm[d.Addr2]
+	if d.Seq.Fragment == 0 {
+		st = &reasmState{seq: d.Seq.Number, buf: append([]byte(nil), d.Payload...), nextFrag: 1}
+		s.reasm[d.Addr2] = st
+		if !d.FC.MoreFrag {
+			delete(s.reasm, d.Addr2)
+			return st.buf
+		}
+		return nil
+	}
+	if st == nil || st.seq != d.Seq.Number || st.nextFrag != d.Seq.Fragment {
+		// Gap or stale fragment: discard the whole MSDU.
+		delete(s.reasm, d.Addr2)
+		s.Stats.RxDiscarded++
+		return nil
+	}
+	st.buf = append(st.buf, d.Payload...)
+	st.nextFrag++
+	if d.FC.MoreFrag {
+		return nil
+	}
+	delete(s.reasm, d.Addr2)
+	return st.buf
+}

@@ -1,0 +1,107 @@
+package mac
+
+import (
+	"testing"
+
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+	"politewifi/internal/phy"
+	"politewifi/internal/radio"
+)
+
+// TestAckInvariantRandomTraffic is the repository's central
+// metamorphic test: whatever an attacker throws at a station, the
+// number of ACKs it transmits equals exactly the number of clean
+// (FCS-passing) unicast management/data frames with normal ack
+// policy addressed to it. No frame content, key, association state
+// or blocklist may perturb that equality — Polite WiFi, quantified.
+func TestAckInvariantRandomTraffic(t *testing.T) {
+	sched := eventsim.NewScheduler()
+	rng := eventsim.NewRNG(2026)
+	m := radio.NewMedium(sched, rng.Fork(), radio.Config{
+		PathLoss: radio.LogDistance{Exponent: 2.0}, CaptureMarginDB: 10,
+	})
+	victim := New(m, rng.Fork(), Config{
+		Name: "victim", Addr: clientAddr, Role: RoleClient,
+		Profile: ProfileGenericClient, SSID: "n",
+		Position: radio.Position{X: 5}, Band: phy.Band2GHz, Channel: 6,
+	})
+	victim.Block(fakeAddr) // blocklist must not matter
+	tx := m.NewRadio("inj", radio.Position{X: 8}, phy.Band2GHz, 6)
+
+	other := dot11.MustMAC("00:00:5e:00:53:44")
+	frng := rng.Fork()
+	expectedAcks := 0
+	sent := 0
+
+	for i := 0; i < 400; i++ {
+		// Build a random frame: type, destination, corruption.
+		var f dot11.Frame
+		toVictim := frng.Coin(0.6)
+		ra := other
+		if toVictim {
+			ra = clientAddr
+		}
+		seq := uint16(i & 0xfff)
+		switch frng.Intn(8) {
+		case 0:
+			f = dot11.NewNullFrame(ra, fakeAddr, fakeAddr, seq)
+		case 1:
+			f = &dot11.Data{Header: dot11.Header{Addr1: ra, Addr2: fakeAddr, Addr3: fakeAddr,
+				Seq: dot11.SequenceControl{Number: seq}}, Payload: []byte{1, 2, 3}}
+		case 2:
+			f = &dot11.Data{Header: dot11.Header{FC: dot11.FrameControl{Protected: true},
+				Addr1: ra, Addr2: fakeAddr, Addr3: fakeAddr,
+				Seq: dot11.SequenceControl{Number: seq}}, Payload: make([]byte, 24)}
+		case 3:
+			f = &dot11.Deauth{Header: dot11.Header{Addr1: ra, Addr2: fakeAddr, Addr3: fakeAddr,
+				Seq: dot11.SequenceControl{Number: seq}}, Reason: dot11.ReasonUnspecified}
+		case 4:
+			f = &dot11.RTS{RA: ra, TA: fakeAddr, Duration: 48} // CTS, not ACK
+		case 5:
+			f = &dot11.Ack{RA: ra} // control: never acked
+		case 6:
+			f = &dot11.Action{Header: dot11.Header{Addr1: ra, Addr2: fakeAddr, Addr3: fakeAddr,
+				Seq: dot11.SequenceControl{Number: seq}}, Category: dot11.CategoryPublic}
+		default:
+			// Block-ack policy QoS data: recorded, not ACKed.
+			f = &dot11.Data{Header: dot11.Header{Addr1: ra, Addr2: fakeAddr, Addr3: fakeAddr,
+				Seq: dot11.SequenceControl{Number: seq}},
+				QoS: true, AckPolicy: dot11.AckPolicyBlockAck, Payload: []byte{9}}
+		}
+		wire, err := dot11.Serialize(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corrupt := frng.Coin(0.2)
+		if corrupt {
+			wire[frng.Intn(len(wire))] ^= 0xff
+		}
+		if _, err := tx.Transmit(wire, phy.Rate24); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+		// The invariant's prediction.
+		if toVictim && !corrupt {
+			d, isData := f.(*dot11.Data)
+			blockAck := isData && d.QoS && d.AckPolicy == dot11.AckPolicyBlockAck
+			if dot11.NeedsAck(f.Control(), clientAddr) && !blockAck {
+				expectedAcks++
+			}
+		}
+		// Space the frames out so ACKs never collide with the next
+		// injection.
+		sched.RunFor(2 * eventsim.Millisecond)
+	}
+	sched.RunFor(10 * eventsim.Millisecond)
+
+	if got := int(victim.Stats.AcksSent); got != expectedAcks {
+		t.Fatalf("ACKs sent = %d, invariant predicts %d (of %d frames)", got, expectedAcks, sent)
+	}
+	if victim.Stats.FCSErrors == 0 {
+		t.Fatal("no corrupted frames seen — test degenerate")
+	}
+	if victim.Stats.CTSSent == 0 {
+		t.Fatal("no RTS hit the victim — test degenerate")
+	}
+}

@@ -1,0 +1,120 @@
+package mac
+
+import (
+	"testing"
+
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+	"politewifi/internal/phy"
+)
+
+// TestNAVFromOverheardRTS: a station that overhears an RTS not
+// addressed to it must defer its own transmissions for the advertised
+// duration.
+func TestNAVFromOverheardRTS(t *testing.T) {
+	n := newTestNet(t, ProfileGenericAP, ProfileGenericClient)
+	n.associate(t)
+
+	// Attacker reserves 20 ms addressed to a third party.
+	other := dot11.MustMAC("00:00:5e:00:53:07")
+	rts := &dot11.RTS{RA: other, TA: fakeAddr, Duration: 20000}
+	n.inject(t, rts, phy.Rate24)
+	n.sched.RunFor(2 * eventsim.Millisecond)
+
+	if !n.client.NAVBusy() {
+		t.Fatal("client NAV not set by overheard RTS")
+	}
+	if n.client.Stats.NAVUpdates == 0 {
+		t.Fatal("NAVUpdates not counted")
+	}
+	// The client's transmission waits out the NAV.
+	acksBefore := n.client.Stats.AcksReceived
+	if err := n.client.SendData(apAddr, []byte("deferred")); err != nil {
+		t.Fatal(err)
+	}
+	n.sched.RunFor(5 * eventsim.Millisecond)
+	if n.client.Stats.AcksReceived != acksBefore {
+		t.Fatal("data frame transmitted inside the NAV window")
+	}
+	if n.client.Stats.NAVDefers == 0 {
+		t.Fatal("NAVDefers not counted")
+	}
+	// After the NAV expires the frame goes through.
+	n.sched.RunFor(30 * eventsim.Millisecond)
+	if n.client.Stats.AcksReceived == acksBefore {
+		t.Fatal("data frame never sent after NAV expiry")
+	}
+}
+
+// TestNAVDoesNotBlockAcks: SIFS responses bypass the NAV, so a jammed
+// victim still ACKs fake frames — Polite WiFi survives virtual
+// jamming.
+func TestNAVDoesNotBlockAcks(t *testing.T) {
+	n := newTestNet(t, ProfileGenericAP, ProfileGenericClient)
+	n.associate(t)
+	n.captured = nil
+
+	// Reserve the channel, then immediately probe.
+	other := dot11.MustMAC("00:00:5e:00:53:07")
+	n.inject(t, &dot11.RTS{RA: other, TA: fakeAddr, Duration: 30000}, phy.Rate24)
+	n.sched.RunFor(eventsim.Millisecond)
+	if !n.client.NAVBusy() {
+		t.Fatal("NAV not armed")
+	}
+	n.inject(t, dot11.NewNullFrame(clientAddr, fakeAddr, fakeAddr, 9), phy.Rate24)
+	n.sched.RunFor(2 * eventsim.Millisecond)
+	if n.acksTo(fakeAddr) != 1 {
+		t.Fatal("NAV suppressed the polite ACK — it must not")
+	}
+}
+
+// TestNAVIgnoresZeroDuration: frames with Duration 0 leave the NAV
+// untouched.
+func TestNAVIgnoresZeroDuration(t *testing.T) {
+	n := newTestNet(t, ProfileGenericAP, ProfileGenericClient)
+	n.associate(t)
+	before := n.client.Stats.NAVUpdates
+	n.inject(t, dot11.NewNullFrame(apAddr, fakeAddr, fakeAddr, 3), phy.Rate24)
+	n.sched.RunFor(2 * eventsim.Millisecond)
+	if n.client.Stats.NAVUpdates != before {
+		t.Fatal("zero-duration frame extended the NAV")
+	}
+}
+
+// TestNAVThroughputCollapse quantifies the virtual-jamming extension:
+// goodput with the channel reserved drops to (near) zero.
+func TestNAVThroughputCollapse(t *testing.T) {
+	measure := func(jam bool) uint64 {
+		n := newTestNet(t, ProfileGenericAP, ProfileGenericClient)
+		n.associate(t)
+		if jam {
+			// Refresh a max-duration reservation every ~29 ms.
+			var fire func()
+			fire = func() {
+				wire, _ := dot11.Serialize(&dot11.RTS{
+					RA: dot11.MustMAC("00:00:5e:00:53:ff"), TA: fakeAddr, Duration: 32767,
+				})
+				if !n.attacker.Transmitting() {
+					n.attacker.Transmit(wire, phy.Rate24)
+				}
+				n.sched.After(29*eventsim.Millisecond, fire)
+			}
+			fire()
+		}
+		acksBefore := n.client.Stats.AcksReceived
+		ticker := n.sched.Every(10*eventsim.Millisecond, func() {
+			n.client.SendData(apAddr, []byte("payload"))
+		})
+		n.sched.RunFor(eventsim.Second)
+		ticker.Stop()
+		return n.client.Stats.AcksReceived - acksBefore
+	}
+	clean := measure(false)
+	jammed := measure(true)
+	if clean < 50 {
+		t.Fatalf("clean goodput = %d frames, want ~100", clean)
+	}
+	if jammed > clean/10 {
+		t.Fatalf("jammed goodput = %d vs clean %d — NAV jamming ineffective", jammed, clean)
+	}
+}

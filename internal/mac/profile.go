@@ -1,0 +1,156 @@
+// Package mac implements the 802.11 MAC state machine for simulated
+// stations and access points: the receive path with its
+// unconditional PHY-level acknowledgement (the Polite WiFi root
+// cause), CSMA/CA transmission with retries, association and
+// authentication handling, deauthentication-on-unknown behaviour,
+// MAC blocklists, and power-save mode.
+//
+// The central design decision, faithful to the paper's finding, is
+// that the ACK decision is made by the PHY using only the receiver
+// address and the FCS — before, and independent of, any MAC-layer
+// validation, decryption, association lookup or blocklist check.
+// Those all run hundreds of microseconds later on the host CPU.
+package mac
+
+import (
+	"politewifi/internal/crypto80211"
+	"politewifi/internal/phy"
+)
+
+// ChipsetProfile captures the per-vendor behavioural knobs observed
+// in the paper's device study. Every profile shares the
+// standard-mandated PHY ACK path; profiles differ only in host-side
+// behaviour (deauth bursts, power save, decode speed).
+type ChipsetProfile struct {
+	// Name identifies the WiFi module, e.g. "Intel AC 3160".
+	Name string
+	// Standard is the WiFi generation, e.g. "11ac".
+	Standard string
+	// DeauthOnUnknown makes an AP respond to class-3 frames from
+	// unassociated transmitters with deauthentication frames (the
+	// Figure 3 behaviour). It never suppresses the ACK.
+	DeauthOnUnknown bool
+	// SupportsPowerSave enables the doze state machine.
+	SupportsPowerSave bool
+	// Validating is the hypothetical §2.2 ablation: the station
+	// decrypts and validates a frame before acknowledging. Real
+	// hardware cannot do this; enabling it makes every ACK miss the
+	// SIFS deadline and the link collapses into retransmissions.
+	Validating bool
+	// Decode models the host-side frame decode latency.
+	Decode crypto80211.DecodeProfile
+}
+
+// Profiles for the five devices of Table 1, plus generic profiles
+// used by the population generator.
+var (
+	ProfileIntelAC3160 = ChipsetProfile{
+		Name: "Intel AC 3160", Standard: "11ac",
+		SupportsPowerSave: true, Decode: crypto80211.FastDecoder,
+	}
+	ProfileAtheros = ChipsetProfile{
+		Name: "Atheros", Standard: "11n",
+		SupportsPowerSave: true, Decode: crypto80211.TypicalDecoder,
+	}
+	ProfileMarvell88W8897 = ChipsetProfile{
+		Name: "Marvel 88W8897", Standard: "11ac",
+		SupportsPowerSave: true, Decode: crypto80211.FastDecoder,
+	}
+	ProfileMurataKM5D18098 = ChipsetProfile{
+		Name: "Murata KM5D18098", Standard: "11ac",
+		SupportsPowerSave: true, Decode: crypto80211.FastDecoder,
+	}
+	ProfileQualcommIPQ4019 = ChipsetProfile{
+		Name: "Qualcomm IPQ 4019", Standard: "11ac",
+		DeauthOnUnknown: true, Decode: crypto80211.FastDecoder,
+	}
+	// ProfileESP8266 is the battery-drain victim: a low-power IoT
+	// module that leans heavily on power save.
+	ProfileESP8266 = ChipsetProfile{
+		Name: "Espressif ESP8266", Standard: "11n",
+		SupportsPowerSave: true, Decode: crypto80211.SlowDecoder,
+	}
+	// ProfileGenericAP is the default AP chipset.
+	ProfileGenericAP = ChipsetProfile{
+		Name: "Generic AP", Standard: "11ac",
+		Decode: crypto80211.TypicalDecoder,
+	}
+	// ProfileGenericClient is the default client chipset.
+	ProfileGenericClient = ChipsetProfile{
+		Name: "Generic Client", Standard: "11ac",
+		SupportsPowerSave: true, Decode: crypto80211.TypicalDecoder,
+	}
+	// ProfileValidating is the §2.2 what-if device.
+	ProfileValidating = ChipsetProfile{
+		Name: "Hypothetical validating STA", Standard: "11ac",
+		Validating: true, Decode: crypto80211.TypicalDecoder,
+	}
+)
+
+// Table1Profiles lists the paper's Table 1 device sample in order.
+var Table1Profiles = []struct {
+	Device  string
+	Profile ChipsetProfile
+}{
+	{"MSI GE62 laptop", ProfileIntelAC3160},
+	{"Ecobee3 thermostat", ProfileAtheros},
+	{"Surface Pro 2017", ProfileMarvell88W8897},
+	{"Samsung Galaxy S8", ProfileMurataKM5D18098},
+	{"Google Wifi AP", ProfileQualcommIPQ4019},
+}
+
+// Stats counts per-station MAC and PHY events. All counters are
+// cumulative over the station's lifetime.
+type Stats struct {
+	PHYFrames         uint64 // frames surfaced by the radio
+	FCSErrors         uint64 // failed the PHY error check (never ACKed)
+	RxForMe           uint64 // frames whose RA matched this station
+	AcksSent          uint64 // PHY acknowledgements transmitted
+	AcksMissed        uint64 // ACK wanted but transmitter was busy
+	CTSSent           uint64 // CTS responses to RTS
+	LateAcks          uint64 // validating ablation: ACKs sent after SIFS
+	RxDelivered       uint64 // frames accepted by the upper layer
+	RxDiscarded       uint64 // frames the upper layer threw away (fake, bad key, replay)
+	BlockedDrops      uint64 // frames dropped by MAC blocklist (post-ACK)
+	DeauthsSent       uint64 // deauthentication frames transmitted
+	TxData            uint64 // data frames transmitted (first attempts)
+	TxRetries         uint64 // retransmissions
+	TxFailed          uint64 // frames dropped after the retry limit
+	AcksReceived      uint64 // acknowledgements received for own frames
+	BeaconsSent       uint64
+	BeaconsHeard      uint64
+	PSPollsSent       uint64
+	UpperHandled      uint64 // frames that reached host processing (CPU cost)
+	Dozes             uint64 // transitions into doze
+	DozeDenied        uint64 // doze attempts cancelled by fresh traffic
+	RTSReceived       uint64
+	AckForUnknown     uint64 // ACKs this station sent to never-seen transmitters
+	NAVUpdates        uint64 // overheard Duration fields that extended the NAV
+	NAVDefers         uint64 // transmissions deferred by virtual carrier sense
+	ForgedMgmtDropped uint64 // unprotected robust mgmt frames dropped (802.11w)
+}
+
+// DefaultBeaconIntervalTU is the usual 102.4 ms beacon period.
+const DefaultBeaconIntervalTU = 100
+
+// Role distinguishes access points from client stations.
+type Role int
+
+// Station roles.
+const (
+	RoleClient Role = iota
+	RoleAP
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	if r == RoleAP {
+		return "AP"
+	}
+	return "client"
+}
+
+// defaultDataRate is the rate stations use for data and management
+// frames; ACKs and CTSs drop to the matching basic rate per the
+// standard.
+var defaultDataRate = phy.Rate24

@@ -1,0 +1,55 @@
+package mac
+
+import (
+	"testing"
+
+	"politewifi/internal/eventsim"
+	"politewifi/internal/phy"
+	"politewifi/internal/radio"
+)
+
+func TestRateAdaptationNearPeer(t *testing.T) {
+	n := newTestNet(t, ProfileGenericAP, ProfileGenericClient)
+	n.associate(t)
+	// After the association exchange the client has SNR samples from
+	// the AP 5 m away — a very strong link.
+	r := n.client.DataRateFor(apAddr)
+	if r.Mbps < 48 {
+		t.Fatalf("5 m link picked %v, want ≥48 Mbps", r)
+	}
+}
+
+func TestRateAdaptationUnknownPeer(t *testing.T) {
+	n := newTestNet(t, ProfileGenericAP, ProfileGenericClient)
+	if got := n.client.DataRateFor(fakeAddr); got.Mbps != 24 {
+		t.Fatalf("unknown peer rate = %v, want default 24", got)
+	}
+}
+
+func TestRateAdaptationFarPeer(t *testing.T) {
+	// A station ~90 m away (marginal SNR with exponent 3) should fall
+	// back to a robust rate.
+	sched := eventsim.NewScheduler()
+	rng := eventsim.NewRNG(3)
+	m := radio.NewMedium(sched, rng, radio.Config{PathLoss: radio.LogDistance{Exponent: 3.0}})
+	ap := New(m, rng, Config{
+		Name: "ap", Addr: apAddr, Role: RoleAP, Profile: ProfileGenericAP,
+		SSID: "far", Position: radio.Position{}, Band: phy.Band2GHz, Channel: 6,
+	})
+	cl := New(m, rng, Config{
+		Name: "cl", Addr: clientAddr, Role: RoleClient, Profile: ProfileGenericClient,
+		SSID: "far", Position: radio.Position{X: 90}, Band: phy.Band2GHz, Channel: 6,
+	})
+	_ = ap
+	sched.RunFor(2 * eventsim.Second) // hear a few beacons
+	r := cl.DataRateFor(apAddr)
+	if r.Mbps > 24 {
+		t.Fatalf("90 m link picked %v, want a robust rate", r)
+	}
+	// EWMA converges: more beacons don't pick something wild.
+	sched.RunFor(2 * eventsim.Second)
+	r2 := cl.DataRateFor(apAddr)
+	if r2.Mbps > 24 {
+		t.Fatalf("settled far-link rate = %v", r2)
+	}
+}

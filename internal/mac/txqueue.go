@@ -1,0 +1,139 @@
+package mac
+
+import (
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+	"politewifi/internal/phy"
+)
+
+// txJob is one MPDU pending transmission with DCF etiquette and
+// retry handling.
+type txJob struct {
+	frame    dot11.Frame
+	needAck  bool
+	rate     phy.Rate
+	attempts int
+	seqSet   bool
+	onDone   func(acked bool)
+}
+
+// enqueue adds a job to the transmit queue and kicks the DCF machine.
+func (s *Station) enqueue(j *txJob) {
+	s.txq = append(s.txq, j)
+	s.kickTx()
+}
+
+// kickTx starts servicing the queue if idle.
+func (s *Station) kickTx() {
+	if s.txActive != nil || len(s.txq) == 0 {
+		return
+	}
+	s.txActive = s.txq[0]
+	s.txq = s.txq[1:]
+	s.deferAndSend(s.txActive)
+}
+
+// deferAndSend waits DIFS plus a random backoff and transmits. The
+// contention window doubles on retries, as in DCF.
+func (s *Station) deferAndSend(j *txJob) {
+	backoffSlots := s.rng.Intn(s.cw + 1)
+	wait := s.band.DIFS() + eventsim.Time(backoffSlots)*s.band.SlotTime()
+	s.sched.After(wait, func() { s.attemptSend(j) })
+}
+
+func (s *Station) attemptSend(j *txJob) {
+	if s.NAVBusy() {
+		// Virtual carrier sense: wait out the reservation, then
+		// contend again. SIFS responses (ACK/CTS) ignore the NAV —
+		// which is why a NAV-jammed victim still acknowledges fake
+		// frames.
+		s.Stats.NAVDefers++
+		wait := s.navUntil - s.sched.Now() + s.band.DIFS()
+		s.sched.After(wait, func() { s.attemptSend(j) })
+		return
+	}
+	if s.Radio.CCABusy() || s.Radio.Transmitting() {
+		// Medium busy: retry the deferral (simplified freeze).
+		s.deferAndSend(j)
+		return
+	}
+	// PS stations must be awake to transmit.
+	if s.Radio.Asleep() {
+		s.Radio.Wake()
+	}
+	// Stamp sequence number once; retries keep it and set the Retry
+	// flag — this is what makes Figure 3's deauth bursts share a SN.
+	if hdr, ok := headerOf(j.frame); ok {
+		if !j.seqSet {
+			hdr.Seq.Number = s.nextSeq()
+			j.seqSet = true
+		}
+		hdr.FC.Retry = j.attempts > 0
+		if j.needAck {
+			hdr.Duration = phy.NAV(s.band, j.rate)
+		}
+	}
+	wire, err := dot11.Serialize(j.frame)
+	if err != nil {
+		s.completeTx(j, false)
+		return
+	}
+	end, err := s.Radio.Transmit(wire, j.rate)
+	if err != nil {
+		s.deferAndSend(j)
+		return
+	}
+	j.attempts++
+	if _, isData := j.frame.(*dot11.Data); isData && j.attempts == 1 {
+		s.Stats.TxData++
+	}
+	if j.attempts > 1 {
+		s.Stats.TxRetries++
+	}
+	if !j.needAck {
+		s.sched.Schedule(end, func() { s.completeTx(j, true) })
+		return
+	}
+	// ACK timeout: SIFS + ACK airtime + propagation/processing slack.
+	timeout := end + s.band.SIFS() + phy.AckDuration(j.rate) + 15*eventsim.Microsecond
+	s.awaitAck = s.sched.Schedule(timeout, func() { s.ackTimeout(j) })
+}
+
+// handleAckRx resolves the pending job when its acknowledgement
+// arrives.
+func (s *Station) handleAckRx(a *dot11.Ack) {
+	j := s.txActive
+	if j == nil || s.awaitAck == nil {
+		return
+	}
+	s.awaitAck.Cancel()
+	s.awaitAck = nil
+	s.Stats.AcksReceived++
+	s.completeTx(j, true)
+}
+
+func (s *Station) ackTimeout(j *txJob) {
+	s.awaitAck = nil
+	if j.attempts >= s.retryLimit {
+		s.Stats.TxFailed++
+		s.cw = 15
+		s.completeTx(j, false)
+		return
+	}
+	if s.cw < 1023 {
+		s.cw = s.cw*2 + 1
+	}
+	s.deferAndSend(j)
+}
+
+func (s *Station) completeTx(j *txJob, acked bool) {
+	if s.txActive == j {
+		s.txActive = nil
+	}
+	s.cw = 15
+	if j.onDone != nil {
+		j.onDone(acked)
+	}
+	s.psActivity()
+	s.kickTx()
+}

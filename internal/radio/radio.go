@@ -1,0 +1,479 @@
+// Package radio simulates a shared wireless medium: radios at
+// physical positions, log-distance path loss with shadowing,
+// propagation delay, frame error injection from the phy link curves,
+// collision/capture behaviour, and carrier sensing.
+//
+// The medium is event-driven: Transmit schedules start-of-reception
+// and end-of-reception events at every radio in range, and the frame
+// is delivered to a radio's handler only if it survives the SNR coin
+// and was not clobbered by an overlapping transmission.
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"politewifi/internal/eventsim"
+	"politewifi/internal/phy"
+)
+
+// SpeedOfLight in m/s, for propagation delay.
+const speedOfLight = 299_792_458.0
+
+// Position is a location in meters.
+type Position struct {
+	X, Y, Z float64
+}
+
+// DistanceTo returns the Euclidean distance to q in meters.
+func (p Position) DistanceTo(q Position) float64 {
+	dx, dy, dz := p.X-q.X, p.Y-q.Y, p.Z-q.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// String implements fmt.Stringer.
+func (p Position) String() string {
+	return fmt.Sprintf("(%.1f, %.1f, %.1f)", p.X, p.Y, p.Z)
+}
+
+// PathLossModel converts a TX→RX geometry to an attenuation in dB.
+type PathLossModel interface {
+	// LossDB returns the path loss between two positions at the given
+	// carrier frequency in MHz.
+	LossDB(from, to Position, freqMHz float64) float64
+}
+
+// LogDistance is the standard log-distance path loss model with a
+// free-space intercept at 1 m.
+type LogDistance struct {
+	// Exponent is the path loss exponent: 2.0 free space, ~3.0
+	// residential indoor, ~3.5 through walls.
+	Exponent float64
+}
+
+// LossDB implements PathLossModel.
+func (m LogDistance) LossDB(from, to Position, freqMHz float64) float64 {
+	d := from.DistanceTo(to)
+	if d < 1 {
+		d = 1
+	}
+	// FSPL at 1 m: 20·log10(f_MHz) − 27.55.
+	intercept := 20*math.Log10(freqMHz) - 27.55
+	return intercept + 10*m.Exponent*math.Log10(d)
+}
+
+// Config parameterises a Medium.
+type Config struct {
+	PathLoss      PathLossModel
+	ShadowSigmaDB float64 // per-link lognormal shadowing std dev
+	FadingSigmaDB float64 // per-frame fast fading std dev
+	// CaptureMarginDB: a frame survives a collision if it is this many
+	// dB stronger than the interferer (preamble capture).
+	CaptureMarginDB float64
+}
+
+// DefaultConfig returns the residential-indoor configuration used by
+// the experiments.
+func DefaultConfig() Config {
+	return Config{
+		PathLoss:        LogDistance{Exponent: 3.0},
+		ShadowSigmaDB:   4.0,
+		FadingSigmaDB:   2.0,
+		CaptureMarginDB: 10.0,
+	}
+}
+
+// Reception describes a frame arriving at a radio.
+type Reception struct {
+	Data    []byte // full frame including FCS
+	Rate    phy.Rate
+	RSSIDBm float64
+	SNRDB   float64
+	Start   eventsim.Time // when the first bit arrived
+	End     eventsim.Time // when the last bit arrived
+	// FCSOK reports whether the frame passed the error-coin; frames
+	// that fail are still delivered so sniffers can count PHY errors,
+	// but MAC stations must ignore them.
+	FCSOK bool
+}
+
+// Reception Start and End are local arrival times at the receiving
+// radio (transmission time plus propagation delay) — what a real
+// receiver can actually timestamp, and what time-of-flight ranging
+// measures.
+
+// State is a radio's RF state, exported so the power model can meter
+// each state separately.
+type State int
+
+// Radio states.
+const (
+	StateSleep State = iota
+	StateIdle
+	StateRX
+	StateTX
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateSleep:
+		return "sleep"
+	case StateIdle:
+		return "idle"
+	case StateRX:
+		return "rx"
+	case StateTX:
+		return "tx"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Medium is the shared air. All radios attached to a Medium hear each
+// other subject to path loss. A Medium is bound to one scheduler and
+// is not safe for concurrent use; external goroutines must go through
+// a synchronised port (package core).
+type Medium struct {
+	Sched *eventsim.Scheduler
+	cfg   Config
+	rng   *eventsim.RNG
+
+	radios []*Radio
+	shadow map[linkKey]float64
+	active map[chanKey][]*transmission
+}
+
+type linkKey struct{ a, b *Radio }
+
+type chanKey struct {
+	band    phy.Band
+	channel int
+}
+
+type transmission struct {
+	source *Radio
+	data   []byte
+	rate   phy.Rate
+	start  eventsim.Time
+	end    eventsim.Time
+	power  float64
+}
+
+// NewMedium creates a medium on the given scheduler.
+func NewMedium(sched *eventsim.Scheduler, rng *eventsim.RNG, cfg Config) *Medium {
+	if cfg.PathLoss == nil {
+		cfg.PathLoss = LogDistance{Exponent: 3.0}
+	}
+	return &Medium{
+		Sched:  sched,
+		cfg:    cfg,
+		rng:    rng,
+		shadow: make(map[linkKey]float64),
+		active: make(map[chanKey][]*transmission),
+	}
+}
+
+// NewRadio attaches a radio to the medium.
+func (m *Medium) NewRadio(name string, pos Position, band phy.Band, channel int) *Radio {
+	r := &Radio{
+		Name:       name,
+		medium:     m,
+		pos:        pos,
+		band:       band,
+		channel:    channel,
+		txPowerDBm: 15,
+		sensDBm:    -92,
+		ccaDBm:     -82,
+		state:      StateIdle,
+	}
+	m.radios = append(m.radios, r)
+	return r
+}
+
+// Radios returns all attached radios.
+func (m *Medium) Radios() []*Radio { return m.radios }
+
+// shadowDB returns the (symmetric, per-link, frozen) shadowing term.
+func (m *Medium) shadowDB(a, b *Radio) float64 {
+	if a == b {
+		return 0
+	}
+	k := linkKey{a, b}
+	if b.Name < a.Name {
+		k = linkKey{b, a}
+	}
+	if v, ok := m.shadow[k]; ok {
+		return v
+	}
+	v := m.rng.Normal(0, m.cfg.ShadowSigmaDB)
+	m.shadow[k] = v
+	return v
+}
+
+// rssiAt computes the received power of a transmission from tx at rx.
+func (m *Medium) rssiAt(tx, rx *Radio, txPower float64) float64 {
+	freq := phy.ChannelFreqMHz(tx.band, tx.channel)
+	loss := m.cfg.PathLoss.LossDB(tx.pos, rx.pos, freq) + m.shadowDB(tx, rx)
+	return txPower - loss
+}
+
+// Radio is one attachment point to the medium. Exactly one frame can
+// be in flight from a radio at a time.
+type Radio struct {
+	Name    string
+	medium  *Medium
+	pos     Position
+	band    phy.Band
+	channel int
+
+	txPowerDBm float64
+	sensDBm    float64 // preamble decode sensitivity
+	ccaDBm     float64 // carrier sense (energy detect) threshold
+
+	state    State
+	stateLis func(old, new State, at eventsim.Time)
+
+	handler func(rx Reception)
+
+	// Current lock: the transmission the receiver is synchronised to.
+	lockedTo    *transmission
+	lockArrival eventsim.Time
+	corrupted   bool
+
+	txUntil eventsim.Time
+}
+
+// Medium returns the medium the radio is attached to.
+func (r *Radio) Medium() *Medium { return r.medium }
+
+// Position returns the radio's location.
+func (r *Radio) Position() Position { return r.pos }
+
+// MoveTo relocates the radio (mobility support for the wardrive).
+func (r *Radio) MoveTo(p Position) { r.pos = p }
+
+// Band returns the radio's band.
+func (r *Radio) Band() phy.Band { return r.band }
+
+// Channel returns the radio's channel number.
+func (r *Radio) Channel() int { return r.channel }
+
+// SetChannel retunes the radio.
+func (r *Radio) SetChannel(ch int) { r.channel = ch }
+
+// SetBand moves the radio to another band (dual-band dongles hop
+// between 2.4 and 5 GHz while scanning).
+func (r *Radio) SetBand(b phy.Band) { r.band = b }
+
+// SetTxPower sets the transmit power in dBm.
+func (r *Radio) SetTxPower(dbm float64) { r.txPowerDBm = dbm }
+
+// TxPower returns the transmit power in dBm.
+func (r *Radio) TxPower() float64 { return r.txPowerDBm }
+
+// SetHandler installs the reception callback.
+func (r *Radio) SetHandler(h func(rx Reception)) { r.handler = h }
+
+// OnStateChange installs a state transition listener used by the
+// power model.
+func (r *Radio) OnStateChange(f func(old, new State, at eventsim.Time)) { r.stateLis = f }
+
+// State returns the current RF state.
+func (r *Radio) State() State { return r.state }
+
+func (r *Radio) setState(s State) {
+	if s == r.state {
+		return
+	}
+	old := r.state
+	r.state = s
+	if r.stateLis != nil {
+		r.stateLis(old, s, r.medium.Sched.Now())
+	}
+}
+
+// Sleep powers the radio down: it hears nothing and the medium skips
+// it entirely. Power-save mode is built on this.
+func (r *Radio) Sleep() {
+	r.lockedTo = nil
+	r.setState(StateSleep)
+}
+
+// Wake powers the radio back up.
+func (r *Radio) Wake() {
+	if r.state == StateSleep {
+		r.setState(StateIdle)
+	}
+}
+
+// Asleep reports whether the radio is powered down.
+func (r *Radio) Asleep() bool { return r.state == StateSleep }
+
+// CCABusy reports whether the radio's clear channel assessment sees
+// energy above threshold right now.
+func (r *Radio) CCABusy() bool {
+	if r.state == StateTX {
+		return true
+	}
+	now := r.medium.Sched.Now()
+	key := chanKey{r.band, r.channel}
+	for _, t := range r.medium.active[key] {
+		if t.source == r || t.end <= now {
+			continue
+		}
+		if r.medium.rssiAt(t.source, r, t.power) >= r.ccaDBm {
+			return true
+		}
+	}
+	return false
+}
+
+// Transmitting reports whether the radio is mid-transmission.
+func (r *Radio) Transmitting() bool { return r.medium.Sched.Now() < r.txUntil }
+
+// ErrTxBusy is returned when a transmission is requested while one is
+// already in flight from this radio.
+var ErrTxBusy = fmt.Errorf("radio: transmitter busy")
+
+// Transmit puts a frame on the air at the given rate. It returns the
+// time the transmission will end. The caller (MAC) is responsible for
+// CSMA etiquette; the radio will happily transmit over others.
+func (r *Radio) Transmit(data []byte, rate phy.Rate) (eventsim.Time, error) {
+	m := r.medium
+	now := m.Sched.Now()
+	if r.Transmitting() {
+		return 0, ErrTxBusy
+	}
+	air := phy.Airtime(rate, len(data))
+	t := &transmission{
+		source: r,
+		data:   append([]byte(nil), data...),
+		rate:   rate,
+		start:  now,
+		end:    now + air,
+		power:  r.txPowerDBm,
+	}
+	r.txUntil = t.end
+	r.setState(StateTX)
+	key := chanKey{r.band, r.channel}
+	m.active[key] = append(m.active[key], t)
+
+	// Schedule per-receiver arrival events.
+	for _, rx := range m.radios {
+		if rx == r || rx.band != r.band || rx.channel != r.channel {
+			continue
+		}
+		rx := rx
+		rssi := m.rssiAt(r, rx, t.power)
+		if m.cfg.FadingSigmaDB > 0 {
+			rssi += m.rng.Normal(0, m.cfg.FadingSigmaDB)
+		}
+		if rssi < rx.sensDBm {
+			continue // below decode sensitivity; contributes only to CCA
+		}
+		delay := eventsim.Time(rx.pos.DistanceTo(r.pos) / speedOfLight * 1e9)
+		m.Sched.Schedule(t.start+delay, func() { rx.beginReception(t, rssi) })
+		m.Sched.Schedule(t.end+delay, func() { rx.endReception(t, rssi) })
+	}
+
+	// Return the transmitter to idle and garbage-collect; PS
+	// stations re-doze later under MAC control.
+	m.Sched.Schedule(t.end, func() {
+		if r.state == StateTX {
+			r.setState(StateIdle)
+		}
+		m.reap(key)
+	})
+	return t.end, nil
+}
+
+func (m *Medium) reap(key chanKey) {
+	now := m.Sched.Now()
+	live := m.active[key][:0]
+	for _, t := range m.active[key] {
+		if t.end > now {
+			live = append(live, t)
+		}
+	}
+	m.active[key] = live
+}
+
+func (r *Radio) beginReception(t *transmission, rssi float64) {
+	if r.state == StateSleep || r.state == StateTX {
+		return
+	}
+	if r.lockedTo == nil {
+		// Lock onto the new transmission.
+		r.lockedTo = t
+		r.lockArrival = r.medium.Sched.Now()
+		r.corrupted = false
+		r.setState(StateRX)
+		return
+	}
+	// Overlap: capture or mutual corruption.
+	cur := r.medium.rssiAt(r.lockedTo.source, r, r.lockedTo.power)
+	margin := r.medium.cfg.CaptureMarginDB
+	switch {
+	case cur >= rssi+margin:
+		// Current frame survives; the newcomer is just noise.
+	case rssi >= cur+margin:
+		// Newcomer captures the receiver.
+		r.lockedTo = t
+		r.lockArrival = r.medium.Sched.Now()
+		r.corrupted = false
+	default:
+		// Both lost.
+		r.corrupted = true
+	}
+}
+
+// lockArrivalFor returns the arrival timestamp captured when the
+// receiver locked onto t.
+func (r *Radio) lockArrivalFor(t *transmission) eventsim.Time {
+	return r.lockArrival
+}
+
+func (r *Radio) endReception(t *transmission, rssi float64) {
+	if r.lockedTo != t {
+		return
+	}
+	locked := r.lockedTo
+	corrupted := r.corrupted
+	r.lockedTo = nil
+	r.corrupted = false
+	if r.state == StateRX {
+		r.setState(StateIdle)
+	}
+	if r.handler == nil {
+		return
+	}
+	snr := phy.SNRFromRSSI(rssi)
+	fcsOK := !corrupted
+	if fcsOK {
+		fer := phy.FER(locked.rate, snr, len(locked.data))
+		if r.medium.rng.Coin(fer) {
+			fcsOK = false
+		}
+	}
+	r.handler(Reception{
+		Data:    locked.data,
+		Rate:    locked.rate,
+		RSSIDBm: rssi,
+		SNRDB:   snr,
+		Start:   r.lockArrivalFor(locked),
+		End:     r.medium.Sched.Now(),
+		FCSOK:   fcsOK,
+	})
+}
+
+// RSSIBetween reports the mean received power from a to b, exposed
+// for placement and discovery logic.
+func (m *Medium) RSSIBetween(a, b *Radio) float64 {
+	return m.rssiAt(a, b, a.txPowerDBm)
+}
+
+// InRange reports whether a transmission from a would be decodable at
+// b on average.
+func (m *Medium) InRange(a, b *Radio) bool {
+	return a.band == b.band && a.channel == b.channel && m.RSSIBetween(a, b) >= b.sensDBm
+}

@@ -1,0 +1,78 @@
+// Package rt bridges the single-threaded discrete-event simulation to
+// concurrent Go code. The paper's wardriving program is a
+// three-OS-thread pipeline; package core's ConcurrentScanner
+// reproduces that structure with real goroutines and channels, and
+// this bridge is what lets those goroutines touch the simulation
+// safely: all simulation access goes through Do (which serialises on
+// the bridge mutex), while Drive advances virtual time in small
+// quanta, releasing the lock between quanta so workers interleave.
+package rt
+
+import (
+	"runtime"
+	"sync"
+
+	"politewifi/internal/eventsim"
+)
+
+// Bridge serialises concurrent access to one scheduler.
+type Bridge struct {
+	mu    sync.Mutex
+	sched *eventsim.Scheduler
+}
+
+// NewBridge wraps a scheduler. After wrapping, all access to the
+// scheduler and anything attached to it (medium, stations, attacker)
+// must go through Do.
+func NewBridge(sched *eventsim.Scheduler) *Bridge {
+	return &Bridge{sched: sched}
+}
+
+// Do runs f while holding the simulation lock. f may schedule events,
+// inject frames, and read simulation state; it must not block on
+// channels fed by other Do callers.
+func (b *Bridge) Do(f func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f()
+}
+
+// Now reads the virtual clock.
+func (b *Bridge) Now() eventsim.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sched.Now()
+}
+
+// Drive advances the simulation by total virtual time in quantum
+// steps, releasing the lock between steps so worker goroutines get a
+// chance to observe state and inject work. It returns when the
+// virtual deadline is reached.
+func (b *Bridge) Drive(quantum, total eventsim.Time) {
+	if quantum <= 0 {
+		quantum = eventsim.Millisecond
+	}
+	var deadline eventsim.Time
+	b.mu.Lock()
+	deadline = b.sched.Now() + total
+	b.mu.Unlock()
+	for {
+		b.mu.Lock()
+		now := b.sched.Now()
+		if now >= deadline {
+			b.mu.Unlock()
+			return
+		}
+		step := quantum
+		if now+step > deadline {
+			step = deadline - now
+		}
+		b.sched.RunFor(step)
+		b.mu.Unlock()
+		// The unlocked window is where workers run; Gosched makes the
+		// handoff prompt even on GOMAXPROCS=1.
+		gosched()
+	}
+}
+
+func gosched() { runtime.Gosched() }

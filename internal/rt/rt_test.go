@@ -1,0 +1,75 @@
+package rt
+
+import (
+	"sync"
+	"testing"
+
+	"politewifi/internal/eventsim"
+)
+
+func TestDriveAdvancesVirtualTime(t *testing.T) {
+	sched := eventsim.NewScheduler()
+	b := NewBridge(sched)
+	fired := 0
+	b.Do(func() {
+		sched.Every(10*eventsim.Millisecond, func() { fired++ })
+	})
+	b.Drive(eventsim.Millisecond, 100*eventsim.Millisecond)
+	if b.Now() != 100*eventsim.Millisecond {
+		t.Fatalf("Now = %v", b.Now())
+	}
+	if fired != 10 {
+		t.Fatalf("ticker fired %d times, want 10", fired)
+	}
+}
+
+func TestDriveZeroQuantumDefaults(t *testing.T) {
+	sched := eventsim.NewScheduler()
+	b := NewBridge(sched)
+	b.Drive(0, 5*eventsim.Millisecond)
+	if b.Now() != 5*eventsim.Millisecond {
+		t.Fatalf("Now = %v", b.Now())
+	}
+}
+
+func TestConcurrentDoDuringDrive(t *testing.T) {
+	sched := eventsim.NewScheduler()
+	b := NewBridge(sched)
+	var wg sync.WaitGroup
+	injected := 0
+	executed := 0
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Do(func() {
+					injected++
+					sched.After(eventsim.Microsecond, func() { executed++ })
+				})
+			}
+		}()
+	}
+	b.Drive(eventsim.Millisecond, eventsim.Second)
+	wg.Wait()
+	// Flush any events injected near the end.
+	b.Do(func() { sched.RunFor(eventsim.Millisecond) })
+	if injected != 300 {
+		t.Fatalf("injected = %d", injected)
+	}
+	b.Do(func() {
+		if executed != injected {
+			t.Errorf("executed %d of %d injected events", executed, injected)
+		}
+	})
+}
+
+func TestQuantumBoundaryExact(t *testing.T) {
+	// A drive of 10 ms in 3 ms quanta must stop exactly at 10 ms.
+	sched := eventsim.NewScheduler()
+	b := NewBridge(sched)
+	b.Drive(3*eventsim.Millisecond, 10*eventsim.Millisecond)
+	if b.Now() != 10*eventsim.Millisecond {
+		t.Fatalf("Now = %v, want exactly 10ms", b.Now())
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"politewifi/internal/eventsim"
+)
+
+// ErrNotPcap is returned when the input lacks the classic pcap magic.
+var ErrNotPcap = errors.New("trace: not a pcap file")
+
+// ReadPcap parses a classic little-endian microsecond pcap stream (as
+// produced by WritePcap or by Wireshark saving a DLT 105 capture) back
+// into records. FCSOK is true for every record: pcap has no channel
+// for PHY verdicts, so corrupt frames simply fail to decode later.
+func ReadPcap(r io.Reader) ([]Record, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: pcap header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != pcapMagicMicros {
+		return nil, ErrNotPcap
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:]); lt != LinkTypeIEEE80211 {
+		return nil, fmt.Errorf("trace: unsupported linktype %d (want %d)", lt, LinkTypeIEEE80211)
+	}
+	var out []Record
+	var rec [16]byte
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: record header: %w", err)
+		}
+		sec := binary.LittleEndian.Uint32(rec[0:])
+		usec := binary.LittleEndian.Uint32(rec[4:])
+		incl := binary.LittleEndian.Uint32(rec[8:])
+		if incl > 1<<20 {
+			return nil, fmt.Errorf("trace: implausible record length %d", incl)
+		}
+		data := make([]byte, incl)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("trace: record body: %w", err)
+		}
+		out = append(out, Record{
+			Time:  eventsim.Time(sec)*eventsim.Second + eventsim.Time(usec)*eventsim.Microsecond,
+			Data:  data,
+			FCSOK: true,
+		})
+	}
+}

@@ -11,6 +11,12 @@
 //	politewifi jam     [-secs S]             NAV (virtual) jamming demo
 //	politewifi deauth  [-pmf]                forged-deauth attack vs 802.11w
 //	politewifi locate  [-dist M] [-n N]      time-of-flight ranging via ACKs
+//	politewifi stats   [-n N]                run the lab scenario, print telemetry
+//
+// The probe, scan, drain and stats subcommands accept -metrics FILE
+// (write a telemetry report as JSON) and -trace FILE (write a
+// frame-lifecycle trace as Chrome trace_event JSON, viewable in
+// about:tracing or Perfetto).
 //
 // All radios, channels and victims are simulated; see DESIGN.md for
 // the hardware→simulation substitutions.
@@ -29,12 +35,78 @@ import (
 	"politewifi/internal/phy"
 	"politewifi/internal/power"
 	"politewifi/internal/radio"
+	"politewifi/internal/telemetry"
 	"politewifi/internal/trace"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: politewifi <probe|scan|drain|sense|sifs|jam|deauth|locate> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: politewifi <probe|scan|drain|sense|sifs|jam|deauth|locate|stats> [flags]")
 	os.Exit(2)
+}
+
+// telemetryFlags wires the -metrics/-trace flags into a subcommand
+// and owns the registry and tracer they enable.
+type telemetryFlags struct {
+	metricsPath string
+	tracePath   string
+	wallTiming  bool
+
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+}
+
+func (t *telemetryFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&t.metricsPath, "metrics", "", "write a telemetry report (JSON) to `file`")
+	fs.StringVar(&t.tracePath, "trace", "", "write a Chrome trace_event frame trace (JSON) to `file`")
+}
+
+// attach builds the registry on the scheduler's race-free clock and
+// instruments the scheduler and medium. Layers above add themselves.
+func (t *telemetryFlags) attach(sched *eventsim.Scheduler, medium *radio.Medium) *telemetry.Registry {
+	t.reg = telemetry.NewRegistry(sched.ObservedNow)
+	telemetry.AttachScheduler(t.reg, sched, t.wallTiming)
+	medium.SetMetrics(radio.NewMetrics(t.reg))
+	if t.tracePath != "" || t.wallTiming {
+		t.tracer = telemetry.NewTracer()
+		medium.SetTracer(t.tracer)
+	}
+	return t.reg
+}
+
+// flush writes the requested report and trace files.
+func (t *telemetryFlags) flush() {
+	if t.metricsPath != "" && t.reg != nil {
+		f, err := os.Create(t.metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi:", err)
+			os.Exit(1)
+		}
+		rep := t.reg.Snapshot()
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote telemetry report (%d counters) to %s\n", len(rep.Counters), t.metricsPath)
+	}
+	if t.tracePath != "" && t.tracer != nil {
+		f, err := os.Create(t.tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi:", err)
+			os.Exit(1)
+		}
+		if err := t.tracer.WriteChromeJSON(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace spans to %s (open in about:tracing or ui.perfetto.dev)\n",
+			t.tracer.Len(), t.tracePath)
+	}
 }
 
 var (
@@ -51,13 +123,21 @@ type lab struct {
 	attacker *core.Attacker
 }
 
-func newLab(seed int64, victimProfile mac.ChipsetProfile) *lab {
+// newLab builds the standard demo network. tf may be nil; when set,
+// every layer of the lab is instrumented into tf.reg before any frame
+// flies, so association warm-up traffic is counted too.
+func newLab(seed int64, victimProfile mac.ChipsetProfile, tf *telemetryFlags) *lab {
 	sched := eventsim.NewScheduler()
 	rng := eventsim.NewRNG(seed)
 	medium := radio.NewMedium(sched, rng.Fork(), radio.Config{
 		PathLoss:        radio.LogDistance{Exponent: 2.2},
 		CaptureMarginDB: 10,
 	})
+	var macMx mac.Metrics
+	if tf != nil {
+		tf.attach(sched, medium)
+		macMx = mac.NewMetrics(tf.reg)
+	}
 	l := &lab{sched: sched, medium: medium}
 	l.ap = mac.New(medium, rng.Fork(), mac.Config{
 		Name: "ap", Addr: apAddr, Role: mac.RoleAP, Profile: mac.ProfileGenericAP,
@@ -69,9 +149,14 @@ func newLab(seed int64, victimProfile mac.ChipsetProfile) *lab {
 		SSID: "HomeNet", Passphrase: "correct horse battery staple",
 		Position: radio.Position{X: 5}, Band: phy.Band2GHz, Channel: 6,
 	})
+	l.ap.SetMetrics(macMx)
+	l.victim.SetMetrics(macMx)
 	l.victim.Associate(apAddr, nil)
 	sched.RunFor(300 * eventsim.Millisecond)
 	l.attacker = core.NewAttacker(medium, radio.Position{X: 12}, phy.Band2GHz, 6, core.DefaultFakeMAC)
+	if tf != nil {
+		l.attacker.InstrumentInto(tf.reg)
+	}
 	return l
 }
 
@@ -97,6 +182,8 @@ func main() {
 		cmdDeauth(args)
 	case "locate":
 		cmdLocate(args)
+	case "stats":
+		cmdStats(args)
 	default:
 		usage()
 	}
@@ -107,12 +194,15 @@ func cmdProbe(args []string) {
 	n := fs.Int("n", 10, "number of fake frames")
 	rts := fs.Bool("rts", false, "use RTS/CTS instead of null/ACK")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	tf := &telemetryFlags{}
+	tf.register(fs)
 	fs.Parse(args)
 
-	l := newLab(*seed, mac.ProfileGenericClient)
+	l := newLab(*seed, mac.ProfileGenericClient, tf)
 	cap := &trace.Capture{}
 	sniffer := l.medium.NewRadio("sniffer", radio.Position{X: 8}, phy.Band2GHz, 6)
 	cap.Attach(sniffer)
+	cap.CountsInto(tf.reg)
 
 	mode := core.ProbeNull
 	if *rts {
@@ -122,6 +212,7 @@ func cmdProbe(args []string) {
 	fmt.Printf("probed %s (%s): %d/%d responses, responded=%v, first gap %.1f µs\n\n",
 		victimAddr, res.Mode, res.Responses, res.Sent, res.Responded, res.FirstGap.Micros())
 	fmt.Print(cap.Table(victimAddr, apAddr))
+	tf.flush()
 }
 
 func cmdScan(args []string) {
@@ -129,6 +220,8 @@ func cmdScan(args []string) {
 	homes := fs.Int("homes", 6, "households in the neighbourhood")
 	secs := fs.Int("secs", 3, "scan duration (simulated seconds)")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	tf := &telemetryFlags{}
+	tf.register(fs)
 	fs.Parse(args)
 
 	sched := eventsim.NewScheduler()
@@ -136,6 +229,8 @@ func cmdScan(args []string) {
 	medium := radio.NewMedium(sched, rng.Fork(), radio.Config{
 		PathLoss: radio.LogDistance{Exponent: 2.4}, CaptureMarginDB: 10,
 	})
+	tf.attach(sched, medium)
+	macMx := mac.NewMetrics(tf.reg)
 	for i := 0; i < *homes; i++ {
 		apMAC := dot11.MustMAC(fmt.Sprintf("f2:6e:0b:00:%02x:01", i))
 		clMAC := dot11.MustMAC(fmt.Sprintf("ec:fa:bc:00:%02x:02", i))
@@ -145,12 +240,13 @@ func cmdScan(args []string) {
 			Profile: mac.ProfileGenericAP, SSID: fmt.Sprintf("Home-%d", i),
 			Position: pos, Band: phy.Band2GHz, Channel: 6,
 		})
-		_ = ap
+		ap.SetMetrics(macMx)
 		cl := mac.New(medium, rng.Fork(), mac.Config{
 			Name: fmt.Sprintf("cl%d", i), Addr: clMAC, Role: mac.RoleClient,
 			Profile: mac.ProfileGenericClient, SSID: fmt.Sprintf("Home-%d", i),
 			Position: radio.Position{X: pos.X + 4, Y: pos.Y}, Band: phy.Band2GHz, Channel: 6,
 		})
+		cl.SetMetrics(macMx)
 		cl.Associate(apMAC, nil)
 		sched.Every(200*eventsim.Millisecond, func() {
 			if cl.Associated() {
@@ -159,7 +255,9 @@ func cmdScan(args []string) {
 		})
 	}
 	attacker := core.NewAttacker(medium, radio.Position{X: 30, Y: 15}, phy.Band2GHz, 6, core.DefaultFakeMAC)
+	attacker.InstrumentInto(tf.reg)
 	scanner := core.NewScanner(attacker)
+	scanner.SetMetrics(tf.reg)
 	scanner.Start()
 	sched.RunFor(eventsim.Time(*secs) * eventsim.Second)
 	scanner.Stop()
@@ -172,6 +270,7 @@ func cmdScan(args []string) {
 	fmt.Printf("\n%d devices (%d clients, %d APs); %d responded (%.0f%%)\n",
 		t.Total, t.Clients, t.APs, t.TotalResponded,
 		100*float64(t.TotalResponded)/float64(max(1, t.Total)))
+	tf.flush()
 }
 
 func cmdDrain(args []string) {
@@ -179,9 +278,11 @@ func cmdDrain(args []string) {
 	rate := fs.Float64("rate", 900, "fake frames per second")
 	secs := fs.Int("secs", 20, "attack duration (simulated seconds)")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	tf := &telemetryFlags{}
+	tf.register(fs)
 	fs.Parse(args)
 
-	l := newLab(*seed, mac.ProfileESP8266)
+	l := newLab(*seed, mac.ProfileESP8266, tf)
 	l.victim.EnablePowerSave()
 	l.sched.RunFor(500 * eventsim.Millisecond)
 
@@ -199,6 +300,7 @@ func cmdDrain(args []string) {
 	for _, b := range []power.Battery{power.LogitechCircle2, power.BlinkXT2} {
 		fmt.Printf("  %-28s would last %.1f h\n", b.String(), b.LifetimeHours(mw))
 	}
+	tf.flush()
 }
 
 func cmdSense(args []string) {
@@ -208,7 +310,7 @@ func cmdSense(args []string) {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	fs.Parse(args)
 
-	l := newLab(*seed, mac.ProfileGenericClient)
+	l := newLab(*seed, mac.ProfileGenericClient, nil)
 	rng := eventsim.NewRNG(*seed + 99)
 	scene := csi.NewScene(rng.Fork())
 	tl := csi.Figure5Timeline(rng.Fork())
@@ -245,7 +347,7 @@ func cmdJam(args []string) {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	fs.Parse(args)
 
-	l := newLab(*seed, mac.ProfileGenericClient)
+	l := newLab(*seed, mac.ProfileGenericClient, nil)
 	// Baseline: victim sends one data frame per 10 ms.
 	baselineAcks := func(dur eventsim.Time) uint64 {
 		before := l.victim.Stats.AcksReceived
@@ -325,6 +427,34 @@ func cmdLocate(args []string) {
 	fmt.Printf("  probes answered: %d/%d\n", res.Responses, res.Sent)
 	fmt.Printf("  true distance %.1f m → estimated %.1f m (err %.1f m)\n",
 		*dist, est, est-*dist)
+}
+
+// cmdStats runs the standard lab scenario fully instrumented — wall
+// timing on, tracer always attached — and prints the whole registry.
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	n := fs.Int("n", 10, "number of fake frames in the probe round")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	timeline := fs.Bool("timeline", false, "also print the frame-lifecycle timeline")
+	tf := &telemetryFlags{wallTiming: true}
+	tf.register(fs)
+	fs.Parse(args)
+
+	l := newLab(*seed, mac.ProfileGenericClient, tf)
+	cap := &trace.Capture{}
+	sniffer := l.medium.NewRadio("sniffer", radio.Position{X: 8}, phy.Band2GHz, 6)
+	cap.Attach(sniffer)
+	cap.CountsInto(tf.reg)
+
+	res := core.ProbeSync(l.attacker, victimAddr, core.ProbeNull, *n, 3*eventsim.Millisecond)
+	fmt.Printf("lab scenario: %d/%d probes answered over %s of simulated time\n\n",
+		res.Responses, res.Sent, l.sched.Now())
+	fmt.Print(tf.reg.Snapshot().Render())
+	if *timeline {
+		fmt.Println()
+		fmt.Print(tf.tracer.Timeline())
+	}
+	tf.flush()
 }
 
 func max(a, b int) int {

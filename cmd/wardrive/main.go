@@ -5,15 +5,17 @@
 //
 // Usage:
 //
-//	wardrive [-seed N] [-scale F] [-stop-size N] [-dwell MS]
+//	wardrive [-seed N] [-scale F] [-stop-size N] [-dwell MS] [-metrics FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"politewifi/internal/eventsim"
 	"politewifi/internal/experiments"
+	"politewifi/internal/telemetry"
 	"politewifi/internal/world"
 )
 
@@ -22,6 +24,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "census scale (1.0 = 5,328 devices)")
 	stopSize := flag.Int("stop-size", 4, "households per vehicle stop")
 	dwellMS := flag.Int("dwell", 1200, "per-channel dwell per stop, ms")
+	metricsPath := flag.String("metrics", "", "write a telemetry report (JSON) to `file`")
 	flag.Parse()
 
 	cfg := world.DefaultConfig()
@@ -30,9 +33,34 @@ func main() {
 	cfg.HouseholdsPerStop = *stopSize
 	cfg.DwellPerChannel = eventsim.Time(*dwellMS) * eventsim.Millisecond
 
+	var reg *telemetry.Registry
+	if *metricsPath != "" {
+		// Each stop runs its own scheduler, so the registry accumulates
+		// drive-wide totals with no meaningful sim-time axis.
+		reg = telemetry.NewRegistry(nil)
+		cfg.Metrics = reg
+	}
+
 	fmt.Printf("wardriving: scale %.2f, %d households/stop, %d ms/channel dwell\n\n",
 		cfg.Scale, cfg.HouseholdsPerStop, *dwellMS)
 
-	r := experiments.Table2(*seed, *scale)
+	r := experiments.Table2WithConfig(cfg)
 	fmt.Print(r.Render())
+
+	if reg != nil {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wardrive:", err)
+			os.Exit(1)
+		}
+		rep := reg.Snapshot()
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wardrive:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote telemetry report (%d counters) to %s\n", len(rep.Counters), *metricsPath)
+	}
 }

@@ -120,6 +120,7 @@ func (a *Attacker) Inject(f dot11.Frame) (eventsim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
+	a.Radio.SetNextTxLabel("inject " + f.Control().Name())
 	end, err := a.Radio.Transmit(wire, a.Rate)
 	if err != nil {
 		a.InjectDrops++

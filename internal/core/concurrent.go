@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"politewifi/internal/dot11"
@@ -38,6 +40,8 @@ type ConcurrentScanner struct {
 
 	mu      sync.Mutex
 	devices map[dot11.MAC]*Device
+
+	metrics PipelineMetrics
 }
 
 type frameEvent struct {
@@ -58,6 +62,10 @@ type verdict struct {
 type verifyEvent struct {
 	kind   verifyKind
 	target dot11.MAC
+	// at is the simulated production time; every producer holds the
+	// simulation lock, so reading the clock here is safe. The verifier
+	// (outside the lock) uses it to compute verdict latency.
+	at eventsim.Time
 }
 
 type verifyKind int
@@ -100,6 +108,7 @@ func (s *ConcurrentScanner) Run(simDuration eventsim.Time) Tally {
 			ev := frameEvent{frame: f, rx: rx, ch: s.attacker.Radio.Channel()}
 			select {
 			case s.frameCh <- ev:
+				s.metrics.FrameChDepth.SetInt(len(s.frameCh))
 			default:
 			}
 		})
@@ -109,15 +118,22 @@ func (s *ConcurrentScanner) Run(simDuration eventsim.Time) Tally {
 	s.bridge.Do(func() {
 		s.attacker.OnFrame(func(f dot11.Frame, rx radio.Reception) {
 			if a, ok := f.(*dot11.Ack); ok && a.RA == s.attacker.MAC {
-				s.pushEvent(verifyEvent{kind: evAck})
+				s.pushEvent(verifyEvent{kind: evAck, at: s.attacker.sched.Now()})
 			}
 		})
 	})
 
+	// Each worker runs under a pprof label so CPU/goroutine profiles
+	// attribute samples to the paper's thread roles.
 	wg.Add(3)
-	go s.discoveryWorker(&wg, done)
-	go s.injectorWorker(&wg, done)
-	go s.verifierWorker(&wg, done)
+	worker := func(role string, fn func(*sync.WaitGroup, <-chan struct{})) {
+		go pprof.Do(context.Background(), pprof.Labels("pipeline_worker", role), func(context.Context) {
+			fn(&wg, done)
+		})
+	}
+	worker("discovery", s.discoveryWorker)
+	worker("injector", s.injectorWorker)
+	worker("verifier", s.verifierWorker)
 
 	s.bridge.Drive(eventsim.Millisecond, simDuration)
 	close(done)
@@ -134,6 +150,7 @@ func (s *ConcurrentScanner) discoveryWorker(wg *sync.WaitGroup, done <-chan stru
 		case <-done:
 			return
 		case ev := <-s.frameCh:
+			s.metrics.WorkerDiscovery.Inc()
 			s.discover(ev)
 		}
 	}
@@ -170,8 +187,10 @@ func (s *ConcurrentScanner) discover(ev frameEvent) {
 	}
 	s.mu.Unlock()
 	if !seen {
+		s.metrics.Discovered.Inc()
 		select {
 		case s.targetCh <- ta:
+			s.metrics.TargetChDepth.SetInt(len(s.targetCh))
 		default: // target queue full; the device stays recorded as silent
 		}
 	}
@@ -187,6 +206,7 @@ func (s *ConcurrentScanner) injectorWorker(wg *sync.WaitGroup, done <-chan struc
 		case <-done:
 			return
 		case target := <-s.targetCh:
+			s.metrics.WorkerInjector.Inc()
 			s.probeTarget(target, done)
 		}
 	}
@@ -214,6 +234,7 @@ func (s *ConcurrentScanner) probeTarget(target dot11.MAC, done <-chan struct{}) 
 				return
 			}
 			injected = true
+			s.metrics.ProbesInjected.Inc()
 			s.mu.Lock()
 			s.devices[target].Probes++
 			s.mu.Unlock()
@@ -221,11 +242,11 @@ func (s *ConcurrentScanner) probeTarget(target dot11.MAC, done <-chan struct{}) 
 			// Both flow through eventCh under the sim lock, so the
 			// verifier sees armed → (ack?) → timeout in sim order.
 			tgt := target
-			s.pushEvent(verifyEvent{kind: evArmed, target: tgt})
+			s.pushEvent(verifyEvent{kind: evArmed, target: tgt, at: s.attacker.sched.Now()})
 			window := s.attacker.Radio.Band().SIFS() +
 				phy.Airtime(phy.ControlRate(s.attacker.Rate), 14) + attributionWindow
 			s.attacker.sched.Schedule(end+window, func() {
-				s.pushEvent(verifyEvent{kind: evTimeout, target: tgt})
+				s.pushEvent(verifyEvent{kind: evTimeout, target: tgt, at: s.attacker.sched.Now()})
 			})
 		})
 		if !injected {
@@ -280,6 +301,7 @@ func (s *ConcurrentScanner) simSleep(d eventsim.Time, done <-chan struct{}) {
 func (s *ConcurrentScanner) pushEvent(ev verifyEvent) {
 	select {
 	case s.eventCh <- ev:
+		s.metrics.EventChDepth.SetInt(len(s.eventCh))
 	default:
 	}
 }
@@ -292,8 +314,15 @@ func (s *ConcurrentScanner) verifierWorker(wg *sync.WaitGroup, done <-chan struc
 	defer wg.Done()
 	open := false
 	var target dot11.MAC
-	resolve := func(acked bool) {
+	var armedAt eventsim.Time
+	resolve := func(acked bool, at eventsim.Time) {
 		open = false
+		if acked {
+			s.metrics.VerdictAck.Inc()
+		} else {
+			s.metrics.VerdictTimeout.Inc()
+		}
+		s.metrics.VerdictLatencyUS.ObserveTime(at - armedAt)
 		select {
 		case s.verdictCh <- verdict{target: target, acked: acked}:
 		case <-done:
@@ -304,17 +333,19 @@ func (s *ConcurrentScanner) verifierWorker(wg *sync.WaitGroup, done <-chan struc
 		case <-done:
 			return
 		case ev := <-s.eventCh:
+			s.metrics.WorkerVerifier.Inc()
 			switch ev.kind {
 			case evArmed:
 				open = true
 				target = ev.target
+				armedAt = ev.at
 			case evAck:
 				if open {
-					resolve(true)
+					resolve(true, ev.at)
 				}
 			case evTimeout:
 				if open && ev.target == target {
-					resolve(false)
+					resolve(false, ev.at)
 				}
 			}
 		}

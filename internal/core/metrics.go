@@ -1,0 +1,71 @@
+package core
+
+import (
+	"politewifi/internal/telemetry"
+)
+
+// PipelineMetrics instruments the wardriving pipeline (the "pipeline"
+// and "core" families). Both Scanner implementations share the same
+// metric names: they are alternative drivers of the same paper
+// pipeline, and a run uses one of them. The zero value records
+// nothing.
+type PipelineMetrics struct {
+	Discovered     *telemetry.Counter
+	ProbesInjected *telemetry.Counter
+	VerdictAck     *telemetry.Counter
+	VerdictTimeout *telemetry.Counter
+	// VerdictLatencyUS is the sim-time distribution from probe
+	// injection to the verifier's decision.
+	VerdictLatencyUS *telemetry.Histogram
+
+	// Channel queue depths (ConcurrentScanner only): set at each send,
+	// so Max is the depth high-water mark.
+	FrameChDepth  *telemetry.Gauge
+	TargetChDepth *telemetry.Gauge
+	EventChDepth  *telemetry.Gauge
+
+	// Per-worker processed-item counts (ConcurrentScanner only).
+	WorkerDiscovery *telemetry.Counter
+	WorkerInjector  *telemetry.Counter
+	WorkerVerifier  *telemetry.Counter
+}
+
+// NewPipelineMetrics creates (or reattaches to) the pipeline family.
+func NewPipelineMetrics(reg *telemetry.Registry) PipelineMetrics {
+	return PipelineMetrics{
+		Discovered:     reg.Counter("pipeline.devices_discovered", "unseen MACs added to the target list"),
+		ProbesInjected: reg.Counter("pipeline.probes_injected", "fake frames sent at targets"),
+		VerdictAck:     reg.Counter("pipeline.verdicts.ack", "probes answered by a SIFS-timed ACK"),
+		VerdictTimeout: reg.Counter("pipeline.verdicts.timeout", "probes whose attribution window closed unanswered"),
+		VerdictLatencyUS: reg.Histogram("pipeline.verdict_latency_us",
+			"sim time from probe to verdict (µs)", telemetry.TimeBucketsUS),
+		FrameChDepth:    reg.Gauge("pipeline.chan.frames", "sniffer→discovery queue depth"),
+		TargetChDepth:   reg.Gauge("pipeline.chan.targets", "discovery→injector queue depth"),
+		EventChDepth:    reg.Gauge("pipeline.chan.events", "sim→verifier queue depth"),
+		WorkerDiscovery: reg.Counter("pipeline.worker.discovery", "frames processed by the discovery worker"),
+		WorkerInjector:  reg.Counter("pipeline.worker.injector", "probe attempts by the injector worker"),
+		WorkerVerifier:  reg.Counter("pipeline.worker.verifier", "events processed by the verifier worker"),
+	}
+}
+
+// SetMetrics installs pipeline telemetry on the cooperative scanner.
+func (s *Scanner) SetMetrics(reg *telemetry.Registry) {
+	s.metrics = NewPipelineMetrics(reg)
+}
+
+// SetMetrics installs pipeline telemetry on the concurrent scanner.
+// Call before Run.
+func (s *ConcurrentScanner) SetMetrics(reg *telemetry.Registry) {
+	s.metrics = NewPipelineMetrics(reg)
+}
+
+// InstrumentInto registers the attacker's monitor-mode counters as
+// sampled core.* metrics.
+func (a *Attacker) InstrumentInto(reg *telemetry.Registry) {
+	reg.CounterFunc("core.injected", "frames injected by the attacker", func() uint64 { return a.Injected })
+	reg.CounterFunc("core.inject_drops", "injections refused (transmitter busy)", func() uint64 { return a.InjectDrops })
+	reg.CounterFunc("core.frames_seen", "frames sniffed in monitor mode", func() uint64 { return a.FramesSeen })
+	reg.CounterFunc("core.acks_to_me", "ACKs addressed to the spoofed MAC", func() uint64 { return a.AcksToMe })
+	reg.CounterFunc("core.cts_to_me", "CTS addressed to the spoofed MAC", func() uint64 { return a.CTSToMe })
+	reg.CounterFunc("core.deauths_for_me", "deauths aimed at the spoofed MAC", func() uint64 { return a.DeauthsForMe })
+}

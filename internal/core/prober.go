@@ -119,7 +119,15 @@ func (p *Prober) step() {
 		// slack, then move on.
 		window := p.attacker.Radio.Band().SIFS() +
 			phy.Airtime(phy.ControlRate(p.attacker.Rate), 14) + attributionWindow
-		p.attacker.sched.Schedule(end+window, func() { p.awaiting = false })
+		p.attacker.sched.Schedule(end+window, func() {
+			if p.awaiting {
+				p.awaiting = false
+				if tr := p.attacker.Radio.Medium().Tracer(); tr != nil {
+					tr.Instant(p.attacker.Radio.Name, "probe timeout", p.attacker.sched.Now(), 0,
+						map[string]string{"target": p.res.Target.String()})
+				}
+			}
+		})
 	}
 	p.attacker.sched.After(p.interval, p.step)
 }
@@ -157,6 +165,12 @@ func (p *Prober) onFrame(f dot11.Frame, rx radio.Reception) {
 	if !p.res.Responded {
 		p.res.Responded = true
 		p.res.FirstGap = gap
+	}
+	if tr := p.attacker.Radio.Medium().Tracer(); tr != nil {
+		tr.Instant(p.attacker.Radio.Name, "probe verified", rx.Start, 0, map[string]string{
+			"target": p.res.Target.String(),
+			"gap":    gap.String(),
+		})
 	}
 }
 

@@ -73,6 +73,8 @@ type Scanner struct {
 
 	ticker       *eventsim.Ticker
 	activeTicker *eventsim.Ticker
+
+	metrics PipelineMetrics
 }
 
 // NewScanner builds a scanner around an attacker radio and installs
@@ -169,6 +171,7 @@ func (s *Scanner) discover(f dot11.Frame, rx radio.Reception) {
 		}
 		s.devices[ta] = d
 		s.queue = append(s.queue, ta)
+		s.metrics.Discovered.Inc()
 		return
 	}
 	// Upgrade classification if we later see AP-proof.
@@ -205,12 +208,19 @@ func (s *Scanner) injectorStep() {
 			return
 		}
 		d.Probes++
+		s.metrics.ProbesInjected.Inc()
 		s.lastTarget = mac
 		s.lastEnd = end
 		s.awaiting = true
 		window := s.attacker.Radio.Band().SIFS() +
 			phy.Airtime(phy.ControlRate(s.attacker.Rate), 14) + attributionWindow
-		s.attacker.sched.Schedule(end+window, func() { s.awaiting = false })
+		s.attacker.sched.Schedule(end+window, func() {
+			if s.awaiting {
+				s.awaiting = false
+				s.metrics.VerdictTimeout.Inc()
+				s.metrics.VerdictLatencyUS.ObserveTime(window)
+			}
+		})
 		return
 	}
 }
@@ -229,6 +239,8 @@ func (s *Scanner) verify(f dot11.Frame, rx radio.Reception) {
 		return
 	}
 	s.awaiting = false
+	s.metrics.VerdictAck.Inc()
+	s.metrics.VerdictLatencyUS.ObserveTime(rx.Start - s.lastEnd)
 	if d, ok := s.devices[s.lastTarget]; ok {
 		d.Acks++
 		d.Responded = true

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -51,11 +52,12 @@ func (t Time) String() string {
 // in the order they were scheduled. This stability is what makes the
 // simulation deterministic.
 type Event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	dead bool
-	idx  int // heap index, -1 when not queued
+	at     Time
+	seq    uint64
+	fn     func()
+	dead   bool
+	idx    int // heap index, -1 when not queued
+	origin Origin
 }
 
 // Time reports when the event will fire.
@@ -114,15 +116,41 @@ type Scheduler struct {
 	queue   eventHeap
 	stopped bool
 	fired   uint64
+
+	// Introspection: queue high-water mark, per-origin fired counts,
+	// a race-free mirror of the clock, and an optional fire observer.
+	highWater     int
+	originNames   []string
+	originIndex   map[string]Origin
+	firedByOrigin []uint64
+	nowAtomic     atomic.Int64
+	observer      func(origin string, wall time.Duration)
+	observeWall   bool
 }
+
+// Origin is an interned label identifying where an event was
+// scheduled from ("radio.rx", "mac.ack", ...). Origin 0 is the
+// untagged default. Interning keeps the per-event accounting to one
+// slice increment on the hot path.
+type Origin uint16
 
 // NewScheduler returns a scheduler whose clock starts at zero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{
+		originNames:   []string{"untagged"},
+		originIndex:   make(map[string]Origin),
+		firedByOrigin: make([]uint64, 1),
+	}
 }
 
 // Now reports the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
+
+// ObservedNow is a race-free snapshot of the virtual clock, readable
+// from any goroutine without the simulation lock. It is updated as
+// each event fires, so telemetry read from worker goroutines can
+// stamp observations without deadlocking on an rt.Bridge.
+func (s *Scheduler) ObservedNow() Time { return Time(s.nowAtomic.Load()) }
 
 // Len reports the number of pending (non-cancelled) events. Cancelled
 // events still occupy the queue until they surface, so this is an
@@ -132,22 +160,76 @@ func (s *Scheduler) Len() int { return len(s.queue) }
 // Fired reports how many events have executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
+// HighWater reports the maximum queue depth reached so far.
+func (s *Scheduler) HighWater() int { return s.highWater }
+
+// Origin interns a label for tagged scheduling. Repeated calls with
+// the same name return the same Origin; layers cache the result at
+// construction time.
+func (s *Scheduler) Origin(name string) Origin {
+	if o, ok := s.originIndex[name]; ok {
+		return o
+	}
+	o := Origin(len(s.originNames))
+	s.originIndex[name] = o
+	s.originNames = append(s.originNames, name)
+	s.firedByOrigin = append(s.firedByOrigin, 0)
+	return o
+}
+
+// FiredByOrigin reports per-origin fired-event counts, including the
+// "untagged" default bucket.
+func (s *Scheduler) FiredByOrigin() map[string]uint64 {
+	out := make(map[string]uint64, len(s.originNames))
+	for i, n := range s.firedByOrigin {
+		if n > 0 {
+			out[s.originNames[i]] = n
+		}
+	}
+	return out
+}
+
+// SetFireObserver installs a callback invoked after every executed
+// event with the event's origin label. When measureWall is true the
+// callback also receives the wall-clock duration of the event's
+// function — per-callback-kind timing for profiling — at the cost of
+// two clock reads per event; otherwise the duration is zero.
+// A nil observer uninstalls.
+func (s *Scheduler) SetFireObserver(obs func(origin string, wall time.Duration), measureWall bool) {
+	s.observer = obs
+	s.observeWall = measureWall
+}
+
 // Schedule runs fn at absolute time at. Scheduling in the past (or the
 // present) runs the event at the current time, after already-queued
 // events for that time.
 func (s *Scheduler) Schedule(at Time, fn func()) *Event {
+	return s.ScheduleTagged(0, at, fn)
+}
+
+// ScheduleTagged is Schedule with an origin label for the
+// per-origin fired-event accounting.
+func (s *Scheduler) ScheduleTagged(o Origin, at Time, fn func()) *Event {
 	if at < s.now {
 		at = s.now
 	}
-	e := &Event{at: at, seq: s.seq, fn: fn, idx: -1}
+	e := &Event{at: at, seq: s.seq, fn: fn, idx: -1, origin: o}
 	s.seq++
 	heap.Push(&s.queue, e)
+	if len(s.queue) > s.highWater {
+		s.highWater = len(s.queue)
+	}
 	return e
 }
 
 // After runs fn after delay d.
 func (s *Scheduler) After(d Time, fn func()) *Event {
 	return s.Schedule(s.now+d, fn)
+}
+
+// AfterTagged is After with an origin label.
+func (s *Scheduler) AfterTagged(o Origin, d Time, fn func()) *Event {
+	return s.ScheduleTagged(o, s.now+d, fn)
 }
 
 // Every schedules fn to run now+d, then every d thereafter, until the
@@ -197,8 +279,21 @@ func (s *Scheduler) Step() bool {
 			continue
 		}
 		s.now = e.at
+		s.nowAtomic.Store(int64(e.at))
 		s.fired++
-		e.fn()
+		s.firedByOrigin[e.origin]++
+		if obs := s.observer; obs != nil {
+			if s.observeWall {
+				start := time.Now()
+				e.fn()
+				obs(s.originNames[e.origin], time.Since(start))
+			} else {
+				e.fn()
+				obs(s.originNames[e.origin], 0)
+			}
+		} else {
+			e.fn()
+		}
 		return true
 	}
 	return false
@@ -223,6 +318,7 @@ func (s *Scheduler) RunUntil(deadline Time) error {
 	}
 	if s.now < deadline {
 		s.now = deadline
+		s.nowAtomic.Store(int64(deadline))
 	}
 	return nil
 }

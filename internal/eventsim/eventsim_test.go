@@ -331,6 +331,115 @@ func TestRNGFork(t *testing.T) {
 	}
 }
 
+func TestHighWater(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 5; i++ {
+		s.Schedule(Time(i), func() {})
+	}
+	if s.HighWater() != 5 {
+		t.Fatalf("HighWater = %d, want 5", s.HighWater())
+	}
+	s.Run()
+	// Draining must not lower the mark.
+	if s.HighWater() != 5 {
+		t.Fatalf("HighWater after drain = %d, want 5", s.HighWater())
+	}
+	// The mark tracks the worst depth, including nested scheduling.
+	s.Schedule(s.Now()+1, func() {
+		for i := 0; i < 10; i++ {
+			s.After(Time(i+1), func() {})
+		}
+	})
+	s.Run()
+	if s.HighWater() != 10 {
+		t.Fatalf("HighWater after nested burst = %d, want 10", s.HighWater())
+	}
+}
+
+func TestFiredByOrigin(t *testing.T) {
+	s := NewScheduler()
+	rx := s.Origin("radio.rx")
+	if again := s.Origin("radio.rx"); again != rx {
+		t.Fatalf("Origin not interned: %d vs %d", rx, again)
+	}
+	tx := s.Origin("radio.tx")
+	s.ScheduleTagged(rx, 10, func() {})
+	s.ScheduleTagged(rx, 20, func() {})
+	s.AfterTagged(tx, 30, func() {})
+	s.Schedule(40, func() {}) // untagged
+	s.Run()
+	got := s.FiredByOrigin()
+	want := map[string]uint64{"radio.rx": 2, "radio.tx": 1, "untagged": 1}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("FiredByOrigin[%s] = %d, want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("FiredByOrigin = %v, want exactly %v", got, want)
+	}
+}
+
+func TestObservedNow(t *testing.T) {
+	s := NewScheduler()
+	if s.ObservedNow() != 0 {
+		t.Fatalf("ObservedNow at start = %v", s.ObservedNow())
+	}
+	var during Time
+	s.Schedule(25, func() { during = s.ObservedNow() })
+	s.Run()
+	if during != 25 {
+		t.Fatalf("ObservedNow inside event = %v, want 25", during)
+	}
+	// RunUntil past the last event advances the mirror to the deadline.
+	s.RunUntil(100)
+	if s.ObservedNow() != 100 {
+		t.Fatalf("ObservedNow after RunUntil = %v, want 100", s.ObservedNow())
+	}
+}
+
+func TestFireObserver(t *testing.T) {
+	s := NewScheduler()
+	rx := s.Origin("radio.rx")
+	type obs struct {
+		origin string
+		wall   time.Duration
+	}
+	var seen []obs
+	s.SetFireObserver(func(origin string, wall time.Duration) {
+		seen = append(seen, obs{origin, wall})
+	}, true)
+	s.ScheduleTagged(rx, 10, func() { time.Sleep(time.Millisecond) })
+	s.Schedule(20, func() {})
+	s.Run()
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d events, want 2", len(seen))
+	}
+	if seen[0].origin != "radio.rx" || seen[1].origin != "untagged" {
+		t.Fatalf("origins = %v", seen)
+	}
+	if seen[0].wall < time.Millisecond/2 {
+		t.Fatalf("measured wall time %v, want ≥0.5ms", seen[0].wall)
+	}
+	// measureWall=false reports zero durations; nil uninstalls.
+	seen = nil
+	s.SetFireObserver(func(origin string, wall time.Duration) {
+		seen = append(seen, obs{origin, wall})
+	}, false)
+	s.Schedule(30, func() { time.Sleep(time.Millisecond) })
+	s.Run()
+	if len(seen) != 1 || seen[0].wall != 0 {
+		t.Fatalf("non-measuring observer saw %v", seen)
+	}
+	s.SetFireObserver(nil, false)
+	seen = nil
+	s.Schedule(40, func() {})
+	s.Run()
+	if len(seen) != 0 {
+		t.Fatal("uninstalled observer still fired")
+	}
+}
+
 func TestNestedScheduling(t *testing.T) {
 	// An event chain where each event schedules the next simulates the
 	// MAC's DIFS/SIFS chains; depth must not be limited.

@@ -26,6 +26,13 @@ func Table2(seed int64, scale float64) *Table2Result {
 	cfg := world.DefaultConfig()
 	cfg.Seed = seed
 	cfg.Scale = scale
+	return Table2WithConfig(cfg)
+}
+
+// Table2WithConfig runs the study with an explicit wardrive
+// configuration — the hook for custom dwell times and for attaching a
+// telemetry registry (cfg.Metrics) to the drive.
+func Table2WithConfig(cfg world.Config) *Table2Result {
 	res := world.Run(cfg)
 	out := &Table2Result{
 		Run:          res,

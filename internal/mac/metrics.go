@@ -1,0 +1,60 @@
+package mac
+
+import (
+	"politewifi/internal/dot11"
+	"politewifi/internal/telemetry"
+)
+
+// Metrics are the station-layer telemetry instruments (the "mac"
+// family). Counters are shared across all stations attached to the
+// same registry — they describe the simulated population, not one
+// device; per-device counts stay in Station.Stats. The zero value is
+// valid and records nothing.
+type Metrics struct {
+	// ACKs sent, keyed by the class of the soliciting frame. The split
+	// is the paper's core observable: acks_data counts responses to
+	// (possibly fake) data frames, acks_mgmt to management frames.
+	AcksData  *telemetry.Counter
+	AcksMgmt  *telemetry.Counter
+	AcksOther *telemetry.Counter
+	// LateAcks counts validated-chipset ACKs sent after the SIFS
+	// deadline (the §2.2 ablation).
+	LateAcks *telemetry.Counter
+	// CTS counts clear-to-send responses.
+	CTS *telemetry.Counter
+	// Deauths counts deauthentication frames queued by APs.
+	Deauths *telemetry.Counter
+	// Dozes / Wakes count power-save radio transitions. The drain
+	// attack shows up as wakes without subsequent dozes.
+	Dozes *telemetry.Counter
+	Wakes *telemetry.Counter
+}
+
+// NewMetrics creates (or reattaches to) the mac instrument family.
+func NewMetrics(reg *telemetry.Registry) Metrics {
+	return Metrics{
+		AcksData:  reg.Counter("mac.acks.data", "ACKs soliciting frame was a data frame"),
+		AcksMgmt:  reg.Counter("mac.acks.mgmt", "ACKs soliciting frame was management"),
+		AcksOther: reg.Counter("mac.acks.other", "ACKs for other frame classes"),
+		LateAcks:  reg.Counter("mac.late_acks", "validated-chipset ACKs sent past SIFS"),
+		CTS:       reg.Counter("mac.cts_sent", "CTS responses to RTS"),
+		Deauths:   reg.Counter("mac.deauths_sent", "deauthentication frames queued"),
+		Dozes:     reg.Counter("mac.ps_dozes", "power-save radio doze transitions"),
+		Wakes:     reg.Counter("mac.ps_wakes", "power-save radio wake transitions"),
+	}
+}
+
+// SetMetrics installs shared telemetry counters on the station.
+func (s *Station) SetMetrics(mx Metrics) { s.metrics = mx }
+
+// countAck records an ACK by the class of the frame it acknowledges.
+func (m *Metrics) countAck(solicit dot11.FrameType) {
+	switch solicit {
+	case dot11.TypeData:
+		m.AcksData.Inc()
+	case dot11.TypeManagement:
+		m.AcksMgmt.Inc()
+	default:
+		m.AcksOther.Inc()
+	}
+}

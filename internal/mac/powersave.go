@@ -45,6 +45,9 @@ func (s *Station) EnablePowerSave() {
 func (s *Station) DisablePowerSave() {
 	s.ps.enabled = false
 	s.ps.dozeVersion++
+	if s.Radio.Asleep() {
+		s.metrics.Wakes.Inc()
+	}
 	s.Radio.Wake()
 	if s.associated {
 		s.sendPMNull(false)
@@ -96,6 +99,7 @@ func (s *Station) armDoze() {
 		if !s.Radio.Asleep() {
 			s.Radio.Sleep()
 			s.Stats.Dozes++
+			s.metrics.Dozes.Inc()
 		}
 	})
 }
@@ -115,6 +119,7 @@ func (s *Station) scheduleBeaconWake() {
 		}
 		if s.Radio.Asleep() {
 			s.Radio.Wake()
+			s.metrics.Wakes.Inc()
 		}
 		// Hunt for the beacon, then re-doze — unless directed traffic
 		// arrived within the idle timeout, which pins us awake. This
@@ -127,6 +132,7 @@ func (s *Station) scheduleBeaconWake() {
 				if s.txActive == nil && len(s.txq) == 0 && !s.Radio.Asleep() {
 					s.Radio.Sleep()
 					s.Stats.Dozes++
+					s.metrics.Dozes.Inc()
 				}
 			}
 		})

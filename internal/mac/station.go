@@ -41,6 +41,10 @@ type Station struct {
 	Radio   *radio.Radio
 	Stats   Stats
 
+	// metrics are shared population-level telemetry counters; the zero
+	// value records nothing (see SetMetrics).
+	metrics Metrics
+
 	sched *eventsim.Scheduler
 	rng   *eventsim.RNG
 	band  phy.Band
@@ -357,7 +361,8 @@ func (s *Station) NAVBusy() bool { return s.sched.Now() < s.navUntil }
 // of the soliciting frame.
 func (s *Station) scheduleAck(f dot11.Frame, rx radio.Reception) {
 	ta := f.TransmitterAddress()
-	s.sched.After(s.band.SIFS(), func() { s.transmitAck(ta, rx.Rate, false) })
+	solicit := f.Control().Type
+	s.sched.After(s.band.SIFS(), func() { s.transmitAck(ta, rx.Rate, false, solicit) })
 }
 
 // scheduleValidatedAck is the §2.2 ablation: decrypt-then-ACK. The
@@ -376,12 +381,12 @@ func (s *Station) scheduleValidatedAck(f dot11.Frame, rx radio.Reception) {
 			valid = s.session.Decrypt(&cp) == nil
 		}
 		if valid {
-			s.transmitAck(ta, rx.Rate, true)
+			s.transmitAck(ta, rx.Rate, true, f.Control().Type)
 		}
 	})
 }
 
-func (s *Station) transmitAck(ta dot11.MAC, solicitRate phy.Rate, late bool) {
+func (s *Station) transmitAck(ta dot11.MAC, solicitRate phy.Rate, late bool, solicit dot11.FrameType) {
 	if ta == dot11.ZeroMAC {
 		return
 	}
@@ -394,13 +399,16 @@ func (s *Station) transmitAck(ta dot11.MAC, solicitRate phy.Rate, late bool) {
 	if err != nil {
 		return
 	}
+	s.Radio.SetNextTxLabel("ACK")
 	if _, err := s.Radio.Transmit(wire, phy.ControlRate(solicitRate)); err != nil {
 		s.Stats.AcksMissed++
 		return
 	}
 	s.Stats.AcksSent++
+	s.metrics.countAck(solicit)
 	if late {
 		s.Stats.LateAcks++
+		s.metrics.LateAcks.Inc()
 	}
 	if !s.knownPeer(ta) {
 		s.Stats.AckForUnknown++
@@ -424,8 +432,10 @@ func (s *Station) respondCTS(r *dot11.RTS, rx radio.Reception) {
 		if s.Radio.Transmitting() {
 			return
 		}
+		s.Radio.SetNextTxLabel("CTS")
 		if _, err := s.Radio.Transmit(wire, ctlRate); err == nil {
 			s.Stats.CTSSent++
+			s.metrics.CTS.Inc()
 		}
 	})
 }
@@ -621,6 +631,7 @@ func (s *Station) sendDeauth(to dot11.MAC, reason dot11.ReasonCode) {
 		}
 	}
 	s.Stats.DeauthsSent++
+	s.metrics.Deauths.Inc()
 	s.enqueue(&txJob{frame: d, needAck: true, rate: defaultDataRate})
 }
 
@@ -665,6 +676,7 @@ func (s *Station) sendBeacon() {
 	if err != nil || s.Radio.Transmitting() {
 		return
 	}
+	s.Radio.SetNextTxLabel("Beacon")
 	if _, err := s.Radio.Transmit(wire, phy.Rate6); err == nil {
 		s.Stats.BeaconsSent++
 	}

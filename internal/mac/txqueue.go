@@ -60,6 +60,7 @@ func (s *Station) attemptSend(j *txJob) {
 	// PS stations must be awake to transmit.
 	if s.Radio.Asleep() {
 		s.Radio.Wake()
+		s.metrics.Wakes.Inc()
 	}
 	// Stamp sequence number once; retries keep it and set the Retry
 	// flag — this is what makes Figure 3's deauth bursts share a SN.
@@ -78,6 +79,7 @@ func (s *Station) attemptSend(j *txJob) {
 		s.completeTx(j, false)
 		return
 	}
+	s.Radio.SetNextTxLabel(j.frame.Control().Name())
 	end, err := s.Radio.Transmit(wire, j.rate)
 	if err != nil {
 		s.deferAndSend(j)

@@ -1,0 +1,46 @@
+package radio
+
+import (
+	"politewifi/internal/telemetry"
+)
+
+// Metrics are the medium's telemetry instruments (the "medium"
+// family). The zero value is valid and records nothing — every
+// instrument method is nil-safe — so an uninstrumented Medium pays
+// only a nil check per event.
+type Metrics struct {
+	// Transmissions counts frames put on the air.
+	Transmissions *telemetry.Counter
+	// TxAirtimeUS accumulates occupied airtime in microseconds.
+	TxAirtimeUS *telemetry.Counter
+	// BelowSensitivity counts receiver links skipped because the
+	// received power was under the decode sensitivity.
+	BelowSensitivity *telemetry.Counter
+	// CaptureWins counts overlapping receptions resolved by preamble
+	// capture (one frame survived the collision).
+	CaptureWins *telemetry.Counter
+	// Collisions counts overlapping receptions where both frames were
+	// lost (mutual corruption).
+	Collisions *telemetry.Counter
+	// SNRDrops counts frames that failed the SNR-driven frame-error
+	// coin (delivered with FCSOK=false).
+	SNRDrops *telemetry.Counter
+	// Deliveries counts receptions surfaced to a radio's handler.
+	Deliveries *telemetry.Counter
+}
+
+// NewMetrics creates (or reattaches to) the medium instrument family
+// in reg. Because registry instruments are get-or-create, calling
+// this once per neighbourhood medium accumulates a whole wardrive
+// into one set of counters.
+func NewMetrics(reg *telemetry.Registry) Metrics {
+	return Metrics{
+		Transmissions:    reg.Counter("medium.transmissions", "frames put on the air"),
+		TxAirtimeUS:      reg.Counter("medium.tx_airtime_us", "occupied airtime (µs)"),
+		BelowSensitivity: reg.Counter("medium.below_sensitivity", "links under decode sensitivity"),
+		CaptureWins:      reg.Counter("medium.capture_wins", "collisions resolved by preamble capture"),
+		Collisions:       reg.Counter("medium.collisions", "overlapping frames mutually lost"),
+		SNRDrops:         reg.Counter("medium.snr_drops", "frames failing the SNR error coin"),
+		Deliveries:       reg.Counter("medium.deliveries", "receptions surfaced to handlers"),
+	}
+}

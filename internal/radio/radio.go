@@ -12,9 +12,11 @@ package radio
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"politewifi/internal/eventsim"
 	"politewifi/internal/phy"
+	"politewifi/internal/telemetry"
 )
 
 // SpeedOfLight in m/s, for propagation delay.
@@ -141,6 +143,12 @@ type Medium struct {
 	radios []*Radio
 	shadow map[linkKey]float64
 	active map[chanKey][]*transmission
+
+	metrics Metrics
+	tracer  *telemetry.Tracer
+
+	originRx     eventsim.Origin
+	originTxDone eventsim.Origin
 }
 
 type linkKey struct{ a, b *Radio }
@@ -151,12 +159,14 @@ type chanKey struct {
 }
 
 type transmission struct {
-	source *Radio
-	data   []byte
-	rate   phy.Rate
-	start  eventsim.Time
-	end    eventsim.Time
-	power  float64
+	source  *Radio
+	data    []byte
+	rate    phy.Rate
+	start   eventsim.Time
+	end     eventsim.Time
+	power   float64
+	traceID uint64 // flow ID linking tx span to rx spans; 0 untraced
+	label   string // semantic frame name set by the MAC/attacker layer
 }
 
 // NewMedium creates a medium on the given scheduler.
@@ -165,13 +175,28 @@ func NewMedium(sched *eventsim.Scheduler, rng *eventsim.RNG, cfg Config) *Medium
 		cfg.PathLoss = LogDistance{Exponent: 3.0}
 	}
 	return &Medium{
-		Sched:  sched,
-		cfg:    cfg,
-		rng:    rng,
-		shadow: make(map[linkKey]float64),
-		active: make(map[chanKey][]*transmission),
+		Sched:        sched,
+		cfg:          cfg,
+		rng:          rng,
+		shadow:       make(map[linkKey]float64),
+		active:       make(map[chanKey][]*transmission),
+		originRx:     sched.Origin("radio.rx"),
+		originTxDone: sched.Origin("radio.txdone"),
 	}
 }
+
+// SetMetrics installs medium counters (see NewMetrics). The zero
+// Metrics value disables counting again.
+func (m *Medium) SetMetrics(mx Metrics) { m.metrics = mx }
+
+// SetTracer installs a frame-lifecycle tracer. Transmissions get a tx
+// span on the transmitter's track and an rx span on each receiver
+// that locked on, linked by flow ID. A nil tracer disables tracing.
+func (m *Medium) SetTracer(t *telemetry.Tracer) { m.tracer = t }
+
+// Tracer returns the installed tracer (nil when tracing is off), so
+// higher layers can add semantic spans to the same timeline.
+func (m *Medium) Tracer() *telemetry.Tracer { return m.tracer }
 
 // NewRadio attaches a radio to the medium.
 func (m *Medium) NewRadio(name string, pos Position, band phy.Band, channel int) *Radio {
@@ -235,6 +260,11 @@ type Radio struct {
 
 	handler func(rx Reception)
 
+	// nextTxLabel names the next Transmit in traces ("ACK", "Probe
+	// Request", ...); consumed by one transmission, set by the layer
+	// that knows the frame's meaning.
+	nextTxLabel string
+
 	// Current lock: the transmission the receiver is synchronised to.
 	lockedTo    *transmission
 	lockArrival eventsim.Time
@@ -273,6 +303,14 @@ func (r *Radio) TxPower() float64 { return r.txPowerDBm }
 
 // SetHandler installs the reception callback.
 func (r *Radio) SetHandler(h func(rx Reception)) { r.handler = h }
+
+// SetNextTxLabel names the next transmission from this radio for the
+// frame-lifecycle trace. No-op unless a tracer is installed.
+func (r *Radio) SetNextTxLabel(label string) {
+	if r.medium.tracer != nil {
+		r.nextTxLabel = label
+	}
+}
 
 // OnStateChange installs a state transition listener used by the
 // power model.
@@ -358,6 +396,21 @@ func (r *Radio) Transmit(data []byte, rate phy.Rate) (eventsim.Time, error) {
 	key := chanKey{r.band, r.channel}
 	m.active[key] = append(m.active[key], t)
 
+	m.metrics.Transmissions.Inc()
+	m.metrics.TxAirtimeUS.Add(uint64(air / eventsim.Microsecond))
+	if m.tracer != nil {
+		t.label = r.nextTxLabel
+		r.nextTxLabel = ""
+		if t.label == "" {
+			t.label = "frame"
+		}
+		t.traceID = m.tracer.NextID()
+		m.tracer.Span(r.Name, "tx "+t.label, t.start, t.end, t.traceID, map[string]string{
+			"bytes": strconv.Itoa(len(t.data)),
+			"rate":  t.rate.String(),
+		})
+	}
+
 	// Schedule per-receiver arrival events.
 	for _, rx := range m.radios {
 		if rx == r || rx.band != r.band || rx.channel != r.channel {
@@ -369,16 +422,17 @@ func (r *Radio) Transmit(data []byte, rate phy.Rate) (eventsim.Time, error) {
 			rssi += m.rng.Normal(0, m.cfg.FadingSigmaDB)
 		}
 		if rssi < rx.sensDBm {
+			m.metrics.BelowSensitivity.Inc()
 			continue // below decode sensitivity; contributes only to CCA
 		}
 		delay := eventsim.Time(rx.pos.DistanceTo(r.pos) / speedOfLight * 1e9)
-		m.Sched.Schedule(t.start+delay, func() { rx.beginReception(t, rssi) })
-		m.Sched.Schedule(t.end+delay, func() { rx.endReception(t, rssi) })
+		m.Sched.ScheduleTagged(m.originRx, t.start+delay, func() { rx.beginReception(t, rssi) })
+		m.Sched.ScheduleTagged(m.originRx, t.end+delay, func() { rx.endReception(t, rssi) })
 	}
 
 	// Return the transmitter to idle and garbage-collect; PS
 	// stations re-doze later under MAC control.
-	m.Sched.Schedule(t.end, func() {
+	m.Sched.ScheduleTagged(m.originTxDone, t.end, func() {
 		if r.state == StateTX {
 			r.setState(StateIdle)
 		}
@@ -416,13 +470,16 @@ func (r *Radio) beginReception(t *transmission, rssi float64) {
 	switch {
 	case cur >= rssi+margin:
 		// Current frame survives; the newcomer is just noise.
+		r.medium.metrics.CaptureWins.Inc()
 	case rssi >= cur+margin:
 		// Newcomer captures the receiver.
+		r.medium.metrics.CaptureWins.Inc()
 		r.lockedTo = t
 		r.lockArrival = r.medium.Sched.Now()
 		r.corrupted = false
 	default:
 		// Both lost.
+		r.medium.metrics.Collisions.Inc()
 		r.corrupted = true
 	}
 }
@@ -453,7 +510,16 @@ func (r *Radio) endReception(t *transmission, rssi float64) {
 		fer := phy.FER(locked.rate, snr, len(locked.data))
 		if r.medium.rng.Coin(fer) {
 			fcsOK = false
+			r.medium.metrics.SNRDrops.Inc()
 		}
+	}
+	r.medium.metrics.Deliveries.Inc()
+	if tr := r.medium.tracer; tr != nil {
+		tr.Span(r.Name, "rx "+locked.label, r.lockArrivalFor(locked), r.medium.Sched.Now(), locked.traceID, map[string]string{
+			"rssi": strconv.FormatFloat(rssi, 'f', 1, 64),
+			"snr":  strconv.FormatFloat(snr, 'f', 1, 64),
+			"fcs":  strconv.FormatBool(fcsOK),
+		})
 	}
 	r.handler(Reception{
 		Data:    locked.data,

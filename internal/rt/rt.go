@@ -11,14 +11,23 @@ package rt
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"politewifi/internal/eventsim"
+	"politewifi/internal/telemetry"
 )
 
 // Bridge serialises concurrent access to one scheduler.
 type Bridge struct {
 	mu    sync.Mutex
 	sched *eventsim.Scheduler
+
+	// Contention accounting: how many Do sections ran, how many found
+	// the lock already held (and so waited), and how many Drive quanta
+	// executed. All atomics — read from any goroutine via Stats.
+	doCalls     atomic.Uint64
+	lockWaits   atomic.Uint64
+	driveQuanta atomic.Uint64
 }
 
 // NewBridge wraps a scheduler. After wrapping, all access to the
@@ -32,9 +41,49 @@ func NewBridge(sched *eventsim.Scheduler) *Bridge {
 // inject frames, and read simulation state; it must not block on
 // channels fed by other Do callers.
 func (b *Bridge) Do(f func()) {
-	b.mu.Lock()
+	b.doCalls.Add(1)
+	if !b.mu.TryLock() {
+		b.lockWaits.Add(1)
+		b.mu.Lock()
+	}
 	defer b.mu.Unlock()
 	f()
+}
+
+// BridgeStats is a point-in-time view of bridge contention.
+type BridgeStats struct {
+	// DoCalls is the number of Do critical sections entered.
+	DoCalls uint64
+	// LockWaits is how many of those found the lock held and blocked —
+	// the contention signal. It undercounts by design: TryLock can
+	// fail spuriously, but a failed TryLock always precedes a real
+	// wait here.
+	LockWaits uint64
+	// DriveQuanta is the number of lock-release windows Drive opened.
+	DriveQuanta uint64
+}
+
+// Stats reads the contention counters; safe from any goroutine.
+func (b *Bridge) Stats() BridgeStats {
+	return BridgeStats{
+		DoCalls:     b.doCalls.Load(),
+		LockWaits:   b.lockWaits.Load(),
+		DriveQuanta: b.driveQuanta.Load(),
+	}
+}
+
+// InstrumentInto registers sampled rt.* counters so bridge contention
+// appears in telemetry reports alongside the simulation families.
+func (b *Bridge) InstrumentInto(reg *telemetry.Registry) {
+	reg.CounterFunc("rt.do_calls", "bridge critical sections entered", func() uint64 {
+		return b.doCalls.Load()
+	})
+	reg.CounterFunc("rt.lock_waits", "Do calls that blocked on the lock", func() uint64 {
+		return b.lockWaits.Load()
+	})
+	reg.CounterFunc("rt.drive_quanta", "Drive lock-release windows", func() uint64 {
+		return b.driveQuanta.Load()
+	})
 }
 
 // Now reads the virtual clock.
@@ -68,6 +117,7 @@ func (b *Bridge) Drive(quantum, total eventsim.Time) {
 			step = deadline - now
 		}
 		b.sched.RunFor(step)
+		b.driveQuanta.Add(1)
 		b.mu.Unlock()
 		// The unlocked window is where workers run; Gosched makes the
 		// handoff prompt even on GOMAXPROCS=1.

@@ -1,10 +1,12 @@
 package rt
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
 	"politewifi/internal/eventsim"
+	"politewifi/internal/telemetry"
 )
 
 func TestDriveAdvancesVirtualTime(t *testing.T) {
@@ -62,6 +64,79 @@ func TestConcurrentDoDuringDrive(t *testing.T) {
 			t.Errorf("executed %d of %d injected events", executed, injected)
 		}
 	})
+}
+
+func TestBridgeStats(t *testing.T) {
+	sched := eventsim.NewScheduler()
+	b := NewBridge(sched)
+	for i := 0; i < 5; i++ {
+		b.Do(func() {})
+	}
+	b.Drive(eventsim.Millisecond, 10*eventsim.Millisecond)
+	st := b.Stats()
+	if st.DoCalls != 5 {
+		t.Fatalf("DoCalls = %d, want 5", st.DoCalls)
+	}
+	if st.DriveQuanta != 10 {
+		t.Fatalf("DriveQuanta = %d, want 10", st.DriveQuanta)
+	}
+	// Uncontended single-goroutine use should essentially never wait.
+	if st.LockWaits > st.DoCalls {
+		t.Fatalf("LockWaits = %d > DoCalls = %d", st.LockWaits, st.DoCalls)
+	}
+}
+
+func TestBridgeLockWaitsUnderContention(t *testing.T) {
+	sched := eventsim.NewScheduler()
+	b := NewBridge(sched)
+	// Hold the lock via a long Do while other goroutines pile up.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go b.Do(func() {
+		close(started)
+		<-release
+	})
+	<-started
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Do(func() {})
+		}()
+	}
+	// Give the contenders time to fail TryLock and block.
+	for b.Stats().LockWaits < 4 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	st := b.Stats()
+	if st.DoCalls != 5 {
+		t.Fatalf("DoCalls = %d, want 5", st.DoCalls)
+	}
+	if st.LockWaits < 4 {
+		t.Fatalf("LockWaits = %d, want ≥4", st.LockWaits)
+	}
+}
+
+func TestBridgeInstrumentInto(t *testing.T) {
+	sched := eventsim.NewScheduler()
+	b := NewBridge(sched)
+	reg := telemetry.NewRegistry(nil)
+	b.InstrumentInto(reg)
+	b.Do(func() {})
+	b.Drive(eventsim.Millisecond, 3*eventsim.Millisecond)
+	rep := reg.Snapshot()
+	if c := rep.Counter("rt.do_calls"); c == nil || c.Value != 1 {
+		t.Fatalf("rt.do_calls = %+v", c)
+	}
+	if c := rep.Counter("rt.drive_quanta"); c == nil || c.Value != 3 {
+		t.Fatalf("rt.drive_quanta = %+v", c)
+	}
+	if c := rep.Counter("rt.lock_waits"); c == nil {
+		t.Fatal("rt.lock_waits missing")
+	}
 }
 
 func TestQuantumBoundaryExact(t *testing.T) {

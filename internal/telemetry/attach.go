@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"politewifi/internal/eventsim"
+)
+
+// WallBucketsUS is the bucket set for wall-clock callback timing in
+// microseconds (sub-microsecond callbacks land in the first bucket).
+var WallBucketsUS = []float64{0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+// AttachScheduler wires a scheduler into the registry:
+//
+//   - sched.events_fired          total events executed
+//   - sched.fired.<origin>        fired events by origin label
+//   - sched.queue_len             pending events at snapshot time
+//   - sched.queue_high_water      maximum queue depth reached
+//
+// With wallTiming, it additionally installs a fire observer feeding
+// sched.callback_wall_us.<origin> histograms — per-callback-kind
+// wall-clock timing for profiling hot origins. Timing costs two
+// clock reads per event, so it is opt-in.
+//
+// The sampled values are read at Snapshot time; snapshot while the
+// simulation is quiescent (between Run calls, or after Drive
+// returns).
+func AttachScheduler(reg *Registry, sched *eventsim.Scheduler, wallTiming bool) {
+	reg.CounterFunc("sched.events_fired", "total events executed", sched.Fired)
+	reg.MultiCounterFunc("sched.fired", "events executed, by schedule origin", sched.FiredByOrigin)
+	reg.GaugeFunc("sched.queue_len", "pending events at snapshot", func() float64 {
+		return float64(sched.Len())
+	})
+	reg.GaugeFunc("sched.queue_high_water", "maximum event-queue depth", func() float64 {
+		return float64(sched.HighWater())
+	})
+	if !wallTiming {
+		return
+	}
+	var mu sync.Mutex
+	hists := make(map[string]*Histogram)
+	sched.SetFireObserver(func(origin string, wall time.Duration) {
+		mu.Lock()
+		h, ok := hists[origin]
+		if !ok {
+			h = reg.Histogram("sched.callback_wall_us."+origin,
+				"wall-clock callback duration by origin (µs)", WallBucketsUS)
+			hists[origin] = h
+		}
+		mu.Unlock()
+		h.Observe(float64(wall.Nanoseconds()) / 1e3)
+	}, true)
+}

@@ -14,6 +14,7 @@ import (
 	"politewifi/internal/dot11"
 	"politewifi/internal/eventsim"
 	"politewifi/internal/radio"
+	"politewifi/internal/telemetry"
 )
 
 // Record is one captured frame.
@@ -165,4 +166,35 @@ func (c *Capture) Summary() map[string]int {
 		}
 	}
 	return out
+}
+
+// CountsInto registers the capture's per-frame-name counts as sampled
+// capture.* metrics, so pcap-level counts land in the same report as
+// the simulation's own telemetry and the two can be cross-checked.
+func (c *Capture) CountsInto(reg *telemetry.Registry) {
+	reg.MultiCounterFunc("capture.frames", "captured frames by Info name", func() map[string]uint64 {
+		out := make(map[string]uint64)
+		for name, n := range c.Summary() {
+			out[metricSuffix(name)] = uint64(n)
+		}
+		return out
+	})
+	reg.CounterFunc("capture.frames_total", "captured frames", func() uint64 {
+		return uint64(len(c.Records))
+	})
+}
+
+// metricSuffix turns an Info name ("Probe Request") into a metric
+// suffix ("probe_request").
+func metricSuffix(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		case r == ' ' || r == '-' || r == '/':
+			return '_'
+		default:
+			return r
+		}
+	}, name)
 }

@@ -25,6 +25,7 @@ import (
 	"politewifi/internal/oui"
 	"politewifi/internal/phy"
 	"politewifi/internal/radio"
+	"politewifi/internal/telemetry"
 )
 
 // Spec describes one device to be instantiated when the vehicle is
@@ -266,6 +267,11 @@ type Config struct {
 	DwellPerChannel eventsim.Time
 	// VehicleSpeedKmh models the drive duration between stops.
 	VehicleSpeedKmh float64
+	// Metrics, when non-nil, accumulates telemetry across every stop:
+	// each per-stop simulation attaches its medium, stations, and
+	// scanner to this registry (instruments are get-or-create, so the
+	// counts sum over the whole drive).
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig is the full-scale study configuration.
@@ -333,6 +339,11 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config, res *Result) {
 		FadingSigmaDB:   1,
 		CaptureMarginDB: 10,
 	})
+	var macMx mac.Metrics
+	if cfg.Metrics != nil {
+		med.SetMetrics(radio.NewMetrics(cfg.Metrics))
+		macMx = mac.NewMetrics(cfg.Metrics)
+	}
 
 	type liveDev struct {
 		spec    Spec
@@ -346,6 +357,7 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config, res *Result) {
 			Profile: h.AP.Profile, SSID: h.AP.SSID, Passphrase: h.Passphrase,
 			Position: h.Pos, Band: h.Band, Channel: h.Channel,
 		})
+		ap.SetMetrics(macMx)
 		devices = append(devices, liveDev{h.AP, ap})
 		if h.Band == phy.Band5GHz {
 			// 5 GHz regulatory limits allow higher EIRP, which is how
@@ -359,6 +371,7 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config, res *Result) {
 				Profile: cl.Profile, SSID: cl.SSID, Passphrase: h.Passphrase,
 				Position: pos, Band: h.Band, Channel: h.Channel,
 			})
+			st.SetMetrics(macMx)
 			if h.Band == phy.Band5GHz {
 				st.Radio.SetTxPower(20)
 			}
@@ -380,6 +393,9 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config, res *Result) {
 	// Robust injection rate: reach every household from the street.
 	attacker.Rate = phy.Rate6
 	scanner := core.NewScanner(attacker)
+	if cfg.Metrics != nil {
+		scanner.SetMetrics(cfg.Metrics)
+	}
 	scanner.ProbeInterval = 2 * eventsim.Millisecond
 	scanner.ActiveScanInterval = 50 * eventsim.Millisecond
 	scanner.Start()
@@ -423,4 +439,25 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config, res *Result) {
 			})
 		}
 	}
+	if cfg.Metrics != nil {
+		accumulateStop(cfg.Metrics, sched, attacker)
+	}
+}
+
+// accumulateStop folds one stop's scheduler and attacker stats into
+// the drive-wide registry. Each stop owns a fresh scheduler and
+// attacker, so sampled funcs would only ever show the last stop;
+// adding into plain counters at stop teardown sums the whole drive.
+func accumulateStop(reg *telemetry.Registry, sched *eventsim.Scheduler, a *core.Attacker) {
+	reg.Counter("sched.events_fired", "events executed (summed over stops)").Add(sched.Fired())
+	for origin, n := range sched.FiredByOrigin() {
+		reg.Counter("sched.fired."+origin, "events executed, by schedule origin").Add(n)
+	}
+	reg.Gauge("sched.queue_high_water", "maximum event-queue depth (worst stop)").SetInt(sched.HighWater())
+	reg.Counter("core.injected", "frames injected by the attacker").Add(a.Injected)
+	reg.Counter("core.inject_drops", "injections refused (transmitter busy)").Add(a.InjectDrops)
+	reg.Counter("core.frames_seen", "frames sniffed in monitor mode").Add(a.FramesSeen)
+	reg.Counter("core.acks_to_me", "ACKs addressed to the spoofed MAC").Add(a.AcksToMe)
+	reg.Counter("core.cts_to_me", "CTS addressed to the spoofed MAC").Add(a.CTSToMe)
+	reg.Counter("core.deauths_for_me", "deauths aimed at the spoofed MAC").Add(a.DeauthsForMe)
 }

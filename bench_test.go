@@ -111,6 +111,41 @@ func BenchmarkTable2FullScale(b *testing.B) {
 	b.ReportMetric(float64(responded), "responded")
 }
 
+// BenchmarkWardrive contrasts the sequential drive (Workers: 1) with
+// the sharded worker pool (Workers: 0 = all cores) — the scaling
+// measurement behind BENCH_wardrive.json. Short mode shrinks the
+// census so the CI smoke job (`go test -run '^$' -bench Wardrive
+// -benchtime 1x -short .`) compiles and exercises the parallel path
+// in seconds; the committed artifact is regenerated at scale 1.0
+// (see EXPERIMENTS.md).
+func BenchmarkWardrive(b *testing.B) {
+	scale := 1.0
+	if testing.Short() {
+		scale = 0.05
+	}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			var total, responded int
+			for i := 0; i < b.N; i++ {
+				cfg := world.DefaultConfig()
+				cfg.Seed = benchSeed
+				cfg.Scale = scale
+				cfg.Workers = bench.workers
+				r := world.Run(cfg)
+				total, responded = r.Total(), r.TotalResponded()
+			}
+			b.ReportMetric(float64(total), "devices")
+			b.ReportMetric(float64(responded), "responded")
+		})
+	}
+}
+
 // --- E6: Figure 5 --------------------------------------------------------
 
 func BenchmarkFigure5(b *testing.B) {

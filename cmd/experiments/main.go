@@ -22,11 +22,13 @@ import (
 
 	"politewifi/internal/eventsim"
 	"politewifi/internal/experiments"
+	"politewifi/internal/world"
 )
 
 func main() {
 	seed := flag.Int64("seed", 20201104, "simulation seed")
 	scale := flag.Float64("scale", 1.0, "Table 2 census scale (1.0 = 5,328 devices)")
+	workers := flag.Int("workers", 0, "wardrive stop workers (0 = all cores)")
 	quick := flag.Bool("quick", false, "shrink slow experiments")
 	out := flag.String("out", "", "directory for CSV/pcap artifacts")
 	only := flag.String("only", "", "run a single experiment by name")
@@ -73,7 +75,13 @@ func main() {
 		}
 	})
 	run("sifs", func() { fmt.Print(experiments.SIFSAnalysis(*seed).Render()) })
-	run("table2", func() { fmt.Print(experiments.Table2(*seed, *scale).Render()) })
+	run("table2", func() {
+		cfg := world.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Scale = *scale
+		cfg.Workers = *workers
+		fmt.Print(experiments.Table2WithConfig(cfg).Render())
+	})
 	run("figure5", func() {
 		r := experiments.Figure5(*seed)
 		fmt.Print(r.Render())

@@ -12,6 +12,11 @@
 //	politewifi deauth  [-pmf]                forged-deauth attack vs 802.11w
 //	politewifi locate  [-dist M] [-n N]      time-of-flight ranging via ACKs
 //	politewifi stats   [-n N]                run the lab scenario, print telemetry
+//	politewifi wardrive [-scale F] [-workers N]  the §3 city-wide census (Table 2)
+//
+// wardrive shards the drive's RF-independent stops over -workers
+// goroutines (default: all cores); the census is bit-identical for
+// every worker count.
 //
 // The probe, scan, drain and stats subcommands accept -metrics FILE
 // (write a telemetry report as JSON) and -trace FILE (write a
@@ -31,16 +36,18 @@ import (
 	"politewifi/internal/csi"
 	"politewifi/internal/dot11"
 	"politewifi/internal/eventsim"
+	"politewifi/internal/experiments"
 	"politewifi/internal/mac"
 	"politewifi/internal/phy"
 	"politewifi/internal/power"
 	"politewifi/internal/radio"
 	"politewifi/internal/telemetry"
 	"politewifi/internal/trace"
+	"politewifi/internal/world"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: politewifi <probe|scan|drain|sense|sifs|jam|deauth|locate|stats> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: politewifi <probe|scan|drain|sense|sifs|jam|deauth|locate|stats|wardrive> [flags]")
 	os.Exit(2)
 }
 
@@ -184,9 +191,42 @@ func main() {
 		cmdLocate(args)
 	case "stats":
 		cmdStats(args)
+	case "wardrive":
+		cmdWardrive(args)
 	default:
 		usage()
 	}
+}
+
+// cmdWardrive runs the §3 large-scale study with the stops sharded
+// across a worker pool (see internal/world and cmd/wardrive).
+func cmdWardrive(args []string) {
+	fs := flag.NewFlagSet("wardrive", flag.ExitOnError)
+	seed := fs.Int64("seed", 20201104, "simulation seed")
+	scale := fs.Float64("scale", 1.0, "census scale (1.0 = 5,328 devices)")
+	stopSize := fs.Int("stop-size", 4, "households per vehicle stop")
+	dwellMS := fs.Int("dwell", 1200, "per-channel dwell per stop, ms")
+	workers := fs.Int("workers", 0, "worker goroutines simulating stops (0 = all cores)")
+	tf := &telemetryFlags{}
+	tf.register(fs)
+	fs.Parse(args)
+
+	cfg := world.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	cfg.HouseholdsPerStop = *stopSize
+	cfg.DwellPerChannel = eventsim.Time(*dwellMS) * eventsim.Millisecond
+	cfg.Workers = *workers
+	if tf.metricsPath != "" {
+		// Every stop owns a private scheduler; the merged registry
+		// carries drive-wide totals, so no single clock applies.
+		tf.reg = telemetry.NewRegistry(nil)
+		cfg.Metrics = tf.reg
+	}
+
+	r := experiments.Table2WithConfig(cfg)
+	fmt.Print(r.Render())
+	tf.flush()
 }
 
 func cmdProbe(args []string) {

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	wardrive [-seed N] [-scale F] [-stop-size N] [-dwell MS] [-metrics FILE]
+//	wardrive [-seed N] [-scale F] [-stop-size N] [-dwell MS] [-workers N] [-metrics FILE]
+//
+// Stops are RF-independent neighbourhoods, so the drive shards them
+// across -workers goroutines (default: all cores). The census is
+// bit-identical for every worker count; see DESIGN.md.
 package main
 
 import (
@@ -24,6 +28,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "census scale (1.0 = 5,328 devices)")
 	stopSize := flag.Int("stop-size", 4, "households per vehicle stop")
 	dwellMS := flag.Int("dwell", 1200, "per-channel dwell per stop, ms")
+	workers := flag.Int("workers", 0, "worker goroutines simulating stops (0 = all cores)")
 	metricsPath := flag.String("metrics", "", "write a telemetry report (JSON) to `file`")
 	flag.Parse()
 
@@ -32,6 +37,7 @@ func main() {
 	cfg.Scale = *scale
 	cfg.HouseholdsPerStop = *stopSize
 	cfg.DwellPerChannel = eventsim.Time(*dwellMS) * eventsim.Millisecond
+	cfg.Workers = *workers
 
 	var reg *telemetry.Registry
 	if *metricsPath != "" {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"runtime"
 	"runtime/pprof"
 	"sync"
 
@@ -250,16 +249,18 @@ func (s *ConcurrentScanner) probeTarget(target dot11.MAC, done <-chan struct{}) 
 			})
 		})
 		if !injected {
-			// Transmitter busy: yield so the simulation driver can
-			// advance, then retry without consuming the attempt.
+			// Transmitter busy: park on a bridged simulated-time wait
+			// (one event, no OS-scheduler spinning) until the current
+			// transmission has had time to drain, then retry without
+			// consuming the attempt.
+			s.simSleep(200*eventsim.Microsecond, done)
 			select {
 			case <-done:
 				return
 			default:
-				runtime.Gosched()
-				attempt--
-				continue
 			}
+			attempt--
+			continue
 		}
 		// Wait for the verifier (or shutdown).
 		select {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"sort"
 
 	"politewifi/internal/dot11"
@@ -133,6 +134,21 @@ func (s *Scanner) onFrame(f dot11.Frame, rx radio.Reception) {
 	s.discover(f, rx)
 }
 
+// frameSSID extracts the SSID advertised by a management frame (""
+// for frames that carry none). Split out so the discovery hot path
+// only pays the []byte→string conversion when it will keep the
+// result — not once per received beacon.
+func frameSSID(f dot11.Frame) string {
+	switch ff := f.(type) {
+	case *dot11.Beacon:
+		return ff.SSID()
+	case *dot11.ProbeResp:
+		ssid, _ := dot11.FindSSID(ff.IEs)
+		return ssid
+	}
+	return ""
+}
+
 // discover adds unseen transmitter addresses to the target list.
 // Beacon and probe-response senders are APs; other unicast
 // transmitters are clients.
@@ -142,14 +158,11 @@ func (s *Scanner) discover(f dot11.Frame, rx radio.Reception) {
 		return
 	}
 	kind := KindClient
-	ssid := ""
 	switch ff := f.(type) {
 	case *dot11.Beacon:
 		kind = KindAP
-		ssid = ff.SSID()
 	case *dot11.ProbeResp:
 		kind = KindAP
-		ssid, _ = dot11.FindSSID(ff.IEs)
 	case *dot11.Data:
 		if ff.FC.FromDS {
 			kind = KindAP
@@ -163,7 +176,7 @@ func (s *Scanner) discover(f dot11.Frame, rx radio.Reception) {
 		d = &Device{
 			MAC:        ta,
 			Kind:       kind,
-			SSID:       ssid,
+			SSID:       frameSSID(f),
 			Band:       s.attacker.Radio.Band(),
 			Channel:    s.attacker.Radio.Channel(),
 			Discovered: s.attacker.sched.Now(),
@@ -174,12 +187,14 @@ func (s *Scanner) discover(f dot11.Frame, rx radio.Reception) {
 		s.metrics.Discovered.Inc()
 		return
 	}
-	// Upgrade classification if we later see AP-proof.
+	// Upgrade classification if we later see AP-proof, and fill the
+	// SSID once — SSIDs are static in the simulation, so re-parsing
+	// every subsequent beacon would only churn identical strings.
 	if kind == KindAP && d.Kind != KindAP {
 		d.Kind = KindAP
 	}
-	if ssid != "" {
-		d.SSID = ssid
+	if d.SSID == "" && kind == KindAP {
+		d.SSID = frameSSID(f)
 	}
 }
 
@@ -257,7 +272,9 @@ func (s *Scanner) Devices() []*Device {
 		if out[i].Discovered != out[j].Discovered {
 			return out[i].Discovered < out[j].Discovered
 		}
-		return out[i].MAC.String() < out[j].MAC.String()
+		// Byte order equals the order of the fixed-width hex rendering,
+		// without the two string allocations per comparison.
+		return bytes.Compare(out[i].MAC[:], out[j].MAC[:]) < 0
 	})
 	return out
 }

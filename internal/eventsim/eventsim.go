@@ -222,6 +222,22 @@ func (s *Scheduler) ScheduleTagged(o Origin, at Time, fn func()) *Event {
 	return e
 }
 
+// reschedule pushes an already-fired event back onto the heap with a
+// fresh sequence number, reusing its struct and callback. The caller
+// must own the event and know it is not queued (idx == -1).
+func (s *Scheduler) reschedule(e *Event, at Time) {
+	if at < s.now {
+		at = s.now
+	}
+	e.at = at
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+	if len(s.queue) > s.highWater {
+		s.highWater = len(s.queue)
+	}
+}
+
 // After runs fn after delay d.
 func (s *Scheduler) After(d Time, fn func()) *Event {
 	return s.Schedule(s.now+d, fn)
@@ -239,6 +255,15 @@ func (s *Scheduler) Every(d Time, fn func()) *Ticker {
 		panic("eventsim: non-positive ticker period")
 	}
 	t := &Ticker{s: s, d: d, fn: fn}
+	t.fire = func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	}
 	t.arm()
 	return t
 }
@@ -248,20 +273,22 @@ type Ticker struct {
 	s       *Scheduler
 	d       Time
 	fn      func()
+	fire    func() // allocated once; re-armed every period
 	ev      *Event
 	stopped bool
 }
 
+// arm (re)schedules the ticker's event. After the first firing the
+// same Event struct is pushed back onto the heap with a fresh
+// sequence number — the ticker holds the only external reference to
+// it, so recycling is safe and each tick costs zero allocations.
 func (t *Ticker) arm() {
-	t.ev = t.s.After(t.d, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	if t.ev != nil && t.ev.idx == -1 {
+		t.ev.dead = false
+		t.s.reschedule(t.ev, t.s.now+t.d)
+		return
+	}
+	t.ev = t.s.After(t.d, t.fire)
 }
 
 // Stop cancels future firings.

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"politewifi/internal/eventsim"
+)
+
+// MergeFrom folds every instrument of src into r. It exists for
+// sharded workloads (the parallel wardrive): each worker accumulates
+// into a private registry with zero contention, and the coordinator
+// merges the shards afterwards in a deterministic order, so the final
+// registry is identical to what a sequential run would have produced.
+//
+// Merge semantics per instrument kind:
+//
+//   - counters add; the merged LastUpdate is the later of the two
+//     stamps (the most recent virtual time the count moved anywhere).
+//   - gauges take src's current value when src was ever set — calling
+//     MergeFrom shard-by-shard in order therefore leaves the value of
+//     the last-merged shard, exactly as sequential Sets would — and
+//     the high-water mark is the max across both.
+//   - histograms add bucket-wise; bounds must match (they are keyed
+//     by instrument name, so differing bounds for one name is a
+//     programming error and panics).
+//
+// Sampled instruments (CounterFunc/GaugeFunc/MultiCounterFunc) are
+// resolved at merge time: their current readings are folded into
+// plain counters/gauges in r, because src — typically a per-shard
+// registry about to be discarded — will not be alive at snapshot
+// time.
+//
+// r and src must not be the same registry. src must be quiescent
+// (its simulation finished); r may be shared, all merges are done
+// under its instruments' own synchronisation.
+func (r *Registry) MergeFrom(src *Registry) {
+	if src == nil || src == r {
+		return
+	}
+	src.mu.Lock()
+	counters := make(map[string]*Counter, len(src.counters))
+	for k, v := range src.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(src.gauges))
+	for k, v := range src.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(src.hists))
+	for k, v := range src.hists {
+		hists[k] = v
+	}
+	cfuncs := make(map[string]*counterFunc, len(src.counterFuncs))
+	for k, v := range src.counterFuncs {
+		cfuncs[k] = v
+	}
+	gfuncs := make(map[string]*gaugeFunc, len(src.gaugeFuncs))
+	for k, v := range src.gaugeFuncs {
+		gfuncs[k] = v
+	}
+	mfuncs := make(map[string]*multiCounterFunc, len(src.multiFuncs))
+	for k, v := range src.multiFuncs {
+		mfuncs[k] = v
+	}
+	src.mu.Unlock()
+
+	for name, c := range counters {
+		r.Counter(name, c.help).merge(c.v.Load(), eventsim.Time(c.lastAt.Load()))
+	}
+	for name, cf := range cfuncs {
+		r.Counter(name, cf.help).merge(cf.fn(), 0)
+	}
+	for prefix, mf := range mfuncs {
+		for suffix, v := range mf.fn() {
+			r.Counter(prefix+"."+suffix, mf.help).merge(v, 0)
+		}
+	}
+	for name, g := range gauges {
+		g.mu.Lock()
+		v, max, set, lastAt := g.v, g.max, g.set, g.lastAt
+		g.mu.Unlock()
+		r.Gauge(name, g.help).merge(v, max, set, lastAt)
+	}
+	for name, gf := range gfuncs {
+		v := gf.fn()
+		r.Gauge(name, gf.help).merge(v, v, true, 0)
+	}
+	for name, h := range hists {
+		h.mu.Lock()
+		dst := r.Histogram(name, h.help, h.bounds)
+		dst.merge(h)
+		h.mu.Unlock()
+	}
+}
+
+// merge folds a source counter's state in: values add, the stamp
+// keeps the later virtual time.
+func (c *Counter) merge(v uint64, lastAt eventsim.Time) {
+	if c == nil || v == 0 {
+		return
+	}
+	c.v.Add(v)
+	for {
+		cur := c.lastAt.Load()
+		if int64(lastAt) <= cur || c.lastAt.CompareAndSwap(cur, int64(lastAt)) {
+			return
+		}
+	}
+}
+
+// merge folds a source gauge's state in: the source's value becomes
+// current (merge order = set order), the high-water mark is the max
+// of both sides.
+func (g *Gauge) merge(v, max float64, set bool, lastAt eventsim.Time) {
+	if g == nil || !set {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	if !g.set || max > g.max {
+		g.max = max
+	}
+	g.set = true
+	if lastAt > g.lastAt {
+		g.lastAt = lastAt
+	}
+	g.mu.Unlock()
+}
+
+// merge folds a source histogram in bucket-wise. The caller holds
+// src.mu; bounds must be identical.
+func (h *Histogram) merge(src *Histogram) {
+	if h == nil || src.n == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.bounds) != len(src.bounds) {
+		panic(fmt.Sprintf("telemetry: merging histogram %q with mismatched bounds", h.name))
+	}
+	for i, b := range h.bounds {
+		if b != src.bounds[i] {
+			panic(fmt.Sprintf("telemetry: merging histogram %q with mismatched bounds", h.name))
+		}
+	}
+	for i, n := range src.counts {
+		h.counts[i] += n
+	}
+	h.sum += src.sum
+	h.n += src.n
+	if src.min < h.min {
+		h.min = src.min
+	}
+	if src.max > h.max {
+		h.max = src.max
+	}
+	if src.lastAt > h.lastAt {
+		h.lastAt = src.lastAt
+	}
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+
+	"politewifi/internal/eventsim"
+)
+
+// fixedClock returns a Clock pinned to t.
+func fixedClock(t eventsim.Time) Clock {
+	return func() eventsim.Time { return t }
+}
+
+func TestMergeCounters(t *testing.T) {
+	dst := NewRegistry(nil)
+	dst.Counter("hits", "h").Add(3)
+
+	src := NewRegistry(fixedClock(70 * eventsim.Second))
+	src.Counter("hits", "h").Add(4)
+	src.Counter("misses", "m").Add(2)
+
+	dst.MergeFrom(src)
+
+	if v := dst.Counter("hits", "h").Value(); v != 7 {
+		t.Fatalf("hits = %d, want 7", v)
+	}
+	if v := dst.Counter("misses", "m").Value(); v != 2 {
+		t.Fatalf("misses = %d, want 2", v)
+	}
+	// The merged stamp is the later of the two sides.
+	if at := dst.Counter("hits", "h").LastUpdate(); at != 70*eventsim.Second {
+		t.Fatalf("hits stamp = %s, want 70s", at)
+	}
+}
+
+func TestMergeGauges(t *testing.T) {
+	dst := NewRegistry(nil)
+	dst.Gauge("depth", "d").Set(9) // high water 9
+
+	src := NewRegistry(nil)
+	src.Gauge("depth", "d").Set(4)
+
+	dst.MergeFrom(src)
+
+	g := dst.Gauge("depth", "d")
+	if g.Value() != 4 {
+		t.Fatalf("merged value = %g, want src's 4 (merge order = set order)", g.Value())
+	}
+	if g.Max() != 9 {
+		t.Fatalf("merged max = %g, want 9", g.Max())
+	}
+
+	// An unset source gauge must not disturb the destination.
+	empty := NewRegistry(nil)
+	empty.Gauge("depth", "d")
+	dst.MergeFrom(empty)
+	if g.Value() != 4 || g.Max() != 9 {
+		t.Fatal("unset source gauge disturbed the destination")
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	dst := NewRegistry(nil)
+	dst.Histogram("lat", "l", bounds).Observe(5)
+
+	src := NewRegistry(nil)
+	src.Histogram("lat", "l", bounds).Observe(0.5)
+	src.Histogram("lat", "l", bounds).Observe(500)
+
+	dst.MergeFrom(src)
+
+	h := dst.Histogram("lat", "l", bounds)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if got := h.Mean(); got != (5+0.5+500)/3 {
+		t.Fatalf("mean = %g", got)
+	}
+	snap := dst.Snapshot()
+	for _, hs := range snap.Histograms {
+		if hs.Name != "lat" {
+			continue
+		}
+		if hs.Min != 0.5 || hs.Max != 500 {
+			t.Fatalf("min/max = %g/%g, want 0.5/500", hs.Min, hs.Max)
+		}
+	}
+}
+
+func TestMergeResolvesSampledFuncs(t *testing.T) {
+	dst := NewRegistry(nil)
+	src := NewRegistry(nil)
+	src.CounterFunc("fired", "f", func() uint64 { return 11 })
+	src.GaugeFunc("queue", "q", func() float64 { return 3 })
+	src.MultiCounterFunc("by", "b", func() map[string]uint64 {
+		return map[string]uint64{"rx": 5, "tx": 6}
+	})
+
+	dst.MergeFrom(src)
+
+	if v := dst.Counter("fired", "f").Value(); v != 11 {
+		t.Fatalf("fired = %d, want 11 (sampled func resolved at merge)", v)
+	}
+	if v := dst.Gauge("queue", "q").Value(); v != 3 {
+		t.Fatalf("queue = %g, want 3", v)
+	}
+	if v := dst.Counter("by.rx", "b").Value(); v != 5 {
+		t.Fatalf("by.rx = %d, want 5", v)
+	}
+	if v := dst.Counter("by.tx", "b").Value(); v != 6 {
+		t.Fatalf("by.tx = %d, want 6", v)
+	}
+}
+
+// TestMergeOrderIndependentForCounters exercises the sharded-wardrive
+// contract: merging per-shard registries one by one produces the same
+// snapshot regardless of how the work was split, as long as the merge
+// order is fixed.
+func TestMergeOrderIndependentForCounters(t *testing.T) {
+	build := func(parts ...[]uint64) *Registry {
+		reg := NewRegistry(nil)
+		for _, p := range parts {
+			shard := NewRegistry(nil)
+			for i, v := range p {
+				if i%2 == 0 {
+					shard.Counter("a", "").Add(v)
+				} else {
+					shard.Counter("b", "").Add(v)
+				}
+			}
+			reg.MergeFrom(shard)
+		}
+		return reg
+	}
+	one := build([]uint64{1, 2, 3, 4})
+	two := build([]uint64{1, 2}, []uint64{3, 4})
+
+	var b1, b2 bytes.Buffer
+	if err := one.Snapshot().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := two.Snapshot().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("sharding changed the snapshot:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+}
+
+func TestMergeMismatchedHistogramBoundsPanics(t *testing.T) {
+	dst := NewRegistry(nil)
+	dst.Histogram("lat", "l", []float64{1, 2}).Observe(1)
+	src := NewRegistry(nil)
+	src.Histogram("lat", "l", []float64{5, 6}).Observe(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched bounds did not panic")
+		}
+	}()
+	dst.MergeFrom(src)
+}
+
+func TestMergeNilAndSelf(t *testing.T) {
+	reg := NewRegistry(nil)
+	reg.Counter("c", "").Add(1)
+	reg.MergeFrom(nil)
+	reg.MergeFrom(reg)
+	if v := reg.Counter("c", "").Value(); v != 1 {
+		t.Fatalf("nil/self merge changed the counter: %d", v)
+	}
+}

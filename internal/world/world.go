@@ -17,6 +17,8 @@ package world
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"politewifi/internal/core"
 	"politewifi/internal/dot11"
@@ -243,6 +245,11 @@ type Result struct {
 	ClientsDiscovered, APsDiscovered int
 	ClientsResponded, APsResponded   int
 
+	// NonResponders is ordered deterministically: by stop index in
+	// street order, then by device instantiation order within the stop
+	// (AP first, then clients, household by household). The ordering
+	// is identical for every Workers setting and every replay of the
+	// same seed.
 	NonResponders []DeviceOutcome
 
 	Stops        int
@@ -267,10 +274,18 @@ type Config struct {
 	DwellPerChannel eventsim.Time
 	// VehicleSpeedKmh models the drive duration between stops.
 	VehicleSpeedKmh float64
+	// Workers bounds the worker pool that simulates stops. Stops are
+	// RF-independent neighbourhoods (see the package doc), so they
+	// can run concurrently; results and telemetry are merged in stop
+	// order afterwards, making the output identical for every worker
+	// count. 0 means GOMAXPROCS; 1 forces a sequential drive.
+	Workers int
 	// Metrics, when non-nil, accumulates telemetry across every stop:
-	// each per-stop simulation attaches its medium, stations, and
-	// scanner to this registry (instruments are get-or-create, so the
-	// counts sum over the whole drive).
+	// each per-stop simulation fills a private registry (medium,
+	// stations, and scanner instruments), and the shards are merged
+	// into this registry in stop order once the drive completes.
+	// Counters hold drive-wide sums; stamps carry the stop-local
+	// virtual time of the latest update in any stop.
 	Metrics *telemetry.Registry
 }
 
@@ -288,6 +303,14 @@ func DefaultConfig() Config {
 // Run executes the wardrive: for each stop, materialise the local
 // neighbourhood, let clients associate and chatter, and run the
 // scanner on each 2.4 GHz channel; then accumulate the census.
+//
+// Stops run on a pool of cfg.Workers goroutines. Each stop's RNG is
+// pre-forked from the root seed in street order — the same fork
+// sequence a sequential drive performs — and each stop fills a
+// private result shard plus a private telemetry registry. Shards are
+// merged in stop-index order, so the Result (vendor maps, counters,
+// NonResponders order) and the merged telemetry are identical for
+// every worker count.
 func Run(cfg Config) *Result {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
@@ -311,8 +334,53 @@ func Run(cfg Config) *Result {
 		Stops:         len(stops),
 	}
 
-	for _, stop := range stops {
-		runStop(rootRNG.Fork(), stop, cfg, res)
+	// Pre-fork every stop's RNG in street order so the seed stream is
+	// the one a sequential drive would consume, regardless of which
+	// worker runs which stop when.
+	rngs := make([]*eventsim.RNG, len(stops))
+	for i := range stops {
+		rngs[i] = rootRNG.Fork()
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(stops) {
+		workers = len(stops)
+	}
+
+	shards := make([]*stopResult, len(stops))
+	if workers <= 1 {
+		for i := range stops {
+			shards[i] = runStop(rngs[i], stops[i], cfg)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					shards[i] = runStop(rngs[i], stops[i], cfg)
+				}
+			}()
+		}
+		for i := range stops {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Deterministic merge: stop-index order, independent of worker
+	// scheduling.
+	for _, sh := range shards {
+		res.absorb(sh)
+		if cfg.Metrics != nil {
+			cfg.Metrics.MergeFrom(sh.metrics)
+		}
 	}
 
 	res.SimPerStop = cfg.DwellPerChannel * eventsim.Time(len(scanPlan))
@@ -330,8 +398,44 @@ func Run(cfg Config) *Result {
 
 func radioDist(a, b radio.Position) float64 { return a.DistanceTo(b) }
 
-// runStop simulates one neighbourhood scan.
-func runStop(rng *eventsim.RNG, stop Stop, cfg Config, res *Result) {
+// stopResult is one stop's private shard of the drive census. Workers
+// fill shards without any shared state; Run merges them in stop-index
+// order.
+type stopResult struct {
+	clientVendors map[string]int
+	apVendors     map[string]int
+
+	clientsDiscovered, apsDiscovered int
+	clientsResponded, apsResponded   int
+
+	nonResponders []DeviceOutcome
+
+	// metrics is the stop-local telemetry registry (nil when the run
+	// is uninstrumented), merged into Config.Metrics after the drive.
+	metrics *telemetry.Registry
+}
+
+// absorb folds one stop's shard into the drive-wide result.
+func (res *Result) absorb(sh *stopResult) {
+	for v, n := range sh.clientVendors {
+		res.ClientVendors[v] += n
+	}
+	for v, n := range sh.apVendors {
+		res.APVendors[v] += n
+	}
+	res.ClientsDiscovered += sh.clientsDiscovered
+	res.APsDiscovered += sh.apsDiscovered
+	res.ClientsResponded += sh.clientsResponded
+	res.APsResponded += sh.apsResponded
+	res.NonResponders = append(res.NonResponders, sh.nonResponders...)
+}
+
+// runStop simulates one neighbourhood scan into a private shard.
+func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
+	sh := &stopResult{
+		clientVendors: make(map[string]int),
+		apVendors:     make(map[string]int),
+	}
 	sched := eventsim.NewScheduler()
 	med := radio.NewMedium(sched, rng.Fork(), radio.Config{
 		PathLoss:        radio.LogDistance{Exponent: 2.7},
@@ -341,15 +445,20 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config, res *Result) {
 	})
 	var macMx mac.Metrics
 	if cfg.Metrics != nil {
-		med.SetMetrics(radio.NewMetrics(cfg.Metrics))
-		macMx = mac.NewMetrics(cfg.Metrics)
+		sh.metrics = telemetry.NewRegistry(sched.ObservedNow)
+		med.SetMetrics(radio.NewMetrics(sh.metrics))
+		macMx = mac.NewMetrics(sh.metrics)
 	}
 
 	type liveDev struct {
 		spec    Spec
 		station *mac.Station
 	}
-	var devices []liveDev
+	nDevs := 0
+	for _, h := range stop.Households {
+		nDevs += 1 + len(h.Clients)
+	}
+	devices := make([]liveDev, 0, nDevs)
 
 	for _, h := range stop.Households {
 		ap := mac.New(med, rng.Fork(), mac.Config{
@@ -393,8 +502,8 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config, res *Result) {
 	// Robust injection rate: reach every household from the street.
 	attacker.Rate = phy.Rate6
 	scanner := core.NewScanner(attacker)
-	if cfg.Metrics != nil {
-		scanner.SetMetrics(cfg.Metrics)
+	if sh.metrics != nil {
+		scanner.SetMetrics(sh.metrics)
 	}
 	scanner.ProbeInterval = 2 * eventsim.Millisecond
 	scanner.ActiveScanInterval = 50 * eventsim.Millisecond
@@ -411,8 +520,9 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config, res *Result) {
 	scanner.Stop()
 
 	// Accumulate outcomes for the devices that actually exist here.
-	found := make(map[dot11.MAC]*core.Device)
-	for _, d := range scanner.Devices() {
+	scanned := scanner.Devices()
+	found := make(map[dot11.MAC]*core.Device, len(scanned))
+	for _, d := range scanned {
 		found[d.MAC] = d
 	}
 	for _, dev := range devices {
@@ -421,27 +531,28 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config, res *Result) {
 			continue // out of RF range or silent: not discovered
 		}
 		if dev.spec.IsAP {
-			res.APsDiscovered++
+			sh.apsDiscovered++
 			if d.Responded {
-				res.APsResponded++
-				res.APVendors[dev.spec.Vendor]++
+				sh.apsResponded++
+				sh.apVendors[dev.spec.Vendor]++
 			}
 		} else {
-			res.ClientsDiscovered++
+			sh.clientsDiscovered++
 			if d.Responded {
-				res.ClientsResponded++
-				res.ClientVendors[dev.spec.Vendor]++
+				sh.clientsResponded++
+				sh.clientVendors[dev.spec.Vendor]++
 			}
 		}
 		if !d.Responded {
-			res.NonResponders = append(res.NonResponders, DeviceOutcome{
+			sh.nonResponders = append(sh.nonResponders, DeviceOutcome{
 				Spec: dev.spec, Probes: d.Probes, Acks: d.Acks,
 			})
 		}
 	}
-	if cfg.Metrics != nil {
-		accumulateStop(cfg.Metrics, sched, attacker)
+	if sh.metrics != nil {
+		accumulateStop(sh.metrics, sched, attacker)
 	}
+	return sh
 }
 
 // accumulateStop folds one stop's scheduler and attacker stats into

@@ -11,7 +11,9 @@
 // slow experiments for a fast smoke run. -only runs a single
 // experiment by name (figure2, table1, figure3, sifs, table2,
 // figure5, figure6, battery, sensing, pmf, vitals, localization,
-// occupancy, ratesweep, devicesweep).
+// occupancy, ratesweep, devicesweep, losssweep). The loss sweep
+// repeats the wardrive once per channel loss rate, so it is opt-in:
+// pass -losssweep (or -only losssweep) to include it.
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink slow experiments")
 	out := flag.String("out", "", "directory for CSV/pcap artifacts")
 	only := flag.String("only", "", "run a single experiment by name")
+	lossSweep := flag.Bool("losssweep", false, "include the wardrive loss sweep (one drive per loss rate)")
 	flag.Parse()
 
 	if *quick {
@@ -118,6 +121,27 @@ func main() {
 	run("occupancy", func() { fmt.Print(experiments.Occupancy(*seed).Render()) })
 	run("ratesweep", func() { fmt.Print(experiments.SensingRateSweep(*seed).Render()) })
 	run("devicesweep", func() { fmt.Print(experiments.DeviceSweep(*seed).Render()) })
+	if *lossSweep || *only == "losssweep" {
+		run("losssweep", func() {
+			cfg := world.DefaultConfig()
+			cfg.Seed = *seed
+			cfg.Scale = *scale
+			cfg.Workers = *workers
+			r := experiments.LossSweep(cfg, nil)
+			fmt.Print(r.Render())
+			if *out != "" {
+				writeArtifact(*out, "losssweep.csv", func(f *os.File) error {
+					fmt.Fprintln(f, "loss_rate,discovered,responded,inconclusive,silent,response_rate,census_recall")
+					for _, p := range r.Points {
+						fmt.Fprintf(f, "%.2f,%d,%d,%d,%d,%.4f,%.4f\n",
+							p.LossRate, p.Discovered, p.Responded, p.Inconclusive, p.Silent,
+							p.ResponseRate, p.CensusRecall)
+					}
+					return nil
+				})
+			}
+		})
+	}
 }
 
 func writeArtifact(dir, name string, write func(*os.File) error) {

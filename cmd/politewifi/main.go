@@ -12,11 +12,14 @@
 //	politewifi deauth  [-pmf]                forged-deauth attack vs 802.11w
 //	politewifi locate  [-dist M] [-n N]      time-of-flight ranging via ACKs
 //	politewifi stats   [-n N]                run the lab scenario, print telemetry
-//	politewifi wardrive [-scale F] [-workers N]  the §3 city-wide census (Table 2)
+//	politewifi wardrive [-scale F] [-workers N] [-faults SPEC]  the §3 city-wide census (Table 2)
+//	politewifi losssweep [-scale F] [-workers N]  census accuracy vs channel loss rate
 //
 // wardrive shards the drive's RF-independent stops over -workers
 // goroutines (default: all cores); the census is bit-identical for
-// every worker count.
+// every worker count. -faults injects deterministic channel
+// impairments (e.g. "loss=0.3,ack=0.1,jam=0.2,deaf=0.1"; see
+// internal/faults); losssweep repeats the drive across loss rates.
 //
 // The probe, scan, drain and stats subcommands accept -metrics FILE
 // (write a telemetry report as JSON) and -trace FILE (write a
@@ -37,6 +40,7 @@ import (
 	"politewifi/internal/dot11"
 	"politewifi/internal/eventsim"
 	"politewifi/internal/experiments"
+	"politewifi/internal/faults"
 	"politewifi/internal/mac"
 	"politewifi/internal/phy"
 	"politewifi/internal/power"
@@ -47,7 +51,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: politewifi <probe|scan|drain|sense|sifs|jam|deauth|locate|stats|wardrive> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: politewifi <probe|scan|drain|sense|sifs|jam|deauth|locate|stats|wardrive|losssweep> [flags]")
 	os.Exit(2)
 }
 
@@ -193,6 +197,8 @@ func main() {
 		cmdStats(args)
 	case "wardrive":
 		cmdWardrive(args)
+	case "losssweep":
+		cmdLossSweep(args)
 	default:
 		usage()
 	}
@@ -207,6 +213,7 @@ func cmdWardrive(args []string) {
 	stopSize := fs.Int("stop-size", 4, "households per vehicle stop")
 	dwellMS := fs.Int("dwell", 1200, "per-channel dwell per stop, ms")
 	workers := fs.Int("workers", 0, "worker goroutines simulating stops (0 = all cores)")
+	faultSpec := fs.String("faults", "", "channel fault `spec`, e.g. loss=0.3,ack=0.1,jam=0.2,deaf=0.1")
 	tf := &telemetryFlags{}
 	tf.register(fs)
 	fs.Parse(args)
@@ -217,6 +224,14 @@ func cmdWardrive(args []string) {
 	cfg.HouseholdsPerStop = *stopSize
 	cfg.DwellPerChannel = eventsim.Time(*dwellMS) * eventsim.Millisecond
 	cfg.Workers = *workers
+	if *faultSpec != "" {
+		fc, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi:", err)
+			os.Exit(2)
+		}
+		cfg.Faults = &fc
+	}
 	if tf.metricsPath != "" {
 		// Every stop owns a private scheduler; the merged registry
 		// carries drive-wide totals, so no single clock applies.
@@ -227,6 +242,26 @@ func cmdWardrive(args []string) {
 	r := experiments.Table2WithConfig(cfg)
 	fmt.Print(r.Render())
 	tf.flush()
+}
+
+// cmdLossSweep repeats the wardrive across channel loss rates and
+// prints the census-accuracy table (see internal/experiments).
+func cmdLossSweep(args []string) {
+	fs := flag.NewFlagSet("losssweep", flag.ExitOnError)
+	seed := fs.Int64("seed", 20201104, "simulation seed")
+	scale := fs.Float64("scale", 0.1, "census scale (1.0 = 5,328 devices; the sweep runs one drive per rate)")
+	stopSize := fs.Int("stop-size", 4, "households per vehicle stop")
+	dwellMS := fs.Int("dwell", 1200, "per-channel dwell per stop, ms")
+	workers := fs.Int("workers", 0, "worker goroutines simulating stops (0 = all cores)")
+	fs.Parse(args)
+
+	cfg := world.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	cfg.HouseholdsPerStop = *stopSize
+	cfg.DwellPerChannel = eventsim.Time(*dwellMS) * eventsim.Millisecond
+	cfg.Workers = *workers
+	fmt.Print(experiments.LossSweep(cfg, nil).Render())
 }
 
 func cmdProbe(args []string) {

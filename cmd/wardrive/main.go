@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	wardrive [-seed N] [-scale F] [-stop-size N] [-dwell MS] [-workers N] [-metrics FILE]
+//	wardrive [-seed N] [-scale F] [-stop-size N] [-dwell MS] [-workers N] [-metrics FILE] [-faults SPEC]
 //
 // Stops are RF-independent neighbourhoods, so the drive shards them
 // across -workers goroutines (default: all cores). The census is
 // bit-identical for every worker count; see DESIGN.md.
+//
+// -faults injects deterministic channel impairments, e.g.
+// "loss=0.3,ack=0.1,jam=0.2,deaf=0.1" (see internal/faults). The
+// faulted census is still bit-identical across worker counts.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 	"politewifi/internal/eventsim"
 	"politewifi/internal/experiments"
+	"politewifi/internal/faults"
 	"politewifi/internal/telemetry"
 	"politewifi/internal/world"
 )
@@ -30,6 +35,7 @@ func main() {
 	dwellMS := flag.Int("dwell", 1200, "per-channel dwell per stop, ms")
 	workers := flag.Int("workers", 0, "worker goroutines simulating stops (0 = all cores)")
 	metricsPath := flag.String("metrics", "", "write a telemetry report (JSON) to `file`")
+	faultSpec := flag.String("faults", "", "channel fault `spec`, e.g. loss=0.3,ack=0.1,jam=0.2,deaf=0.1")
 	flag.Parse()
 
 	cfg := world.DefaultConfig()
@@ -38,6 +44,14 @@ func main() {
 	cfg.HouseholdsPerStop = *stopSize
 	cfg.DwellPerChannel = eventsim.Time(*dwellMS) * eventsim.Millisecond
 	cfg.Workers = *workers
+	if *faultSpec != "" {
+		fc, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wardrive:", err)
+			os.Exit(2)
+		}
+		cfg.Faults = &fc
+	}
 
 	var reg *telemetry.Registry
 	if *metricsPath != "" {
@@ -47,8 +61,13 @@ func main() {
 		cfg.Metrics = reg
 	}
 
-	fmt.Printf("wardriving: scale %.2f, %d households/stop, %d ms/channel dwell\n\n",
-		cfg.Scale, cfg.HouseholdsPerStop, *dwellMS)
+	if cfg.Faults != nil {
+		fmt.Printf("wardriving: scale %.2f, %d households/stop, %d ms/channel dwell, faults %s\n\n",
+			cfg.Scale, cfg.HouseholdsPerStop, *dwellMS, *faultSpec)
+	} else {
+		fmt.Printf("wardriving: scale %.2f, %d households/stop, %d ms/channel dwell\n\n",
+			cfg.Scale, cfg.HouseholdsPerStop, *dwellMS)
+	}
 
 	r := experiments.Table2WithConfig(cfg)
 	fmt.Print(r.Render())

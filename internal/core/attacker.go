@@ -44,12 +44,14 @@ type Attacker struct {
 	sched *eventsim.Scheduler
 	seq   uint16
 
-	handlers []func(f dot11.Frame, rx radio.Reception)
+	handlers        []func(f dot11.Frame, rx radio.Reception)
+	corruptHandlers []func(rx radio.Reception)
 
 	// Stats.
 	Injected     uint64
 	InjectDrops  uint64 // transmitter busy
 	FramesSeen   uint64
+	FCSErrors    uint64 // receptions that failed the FCS check
 	AcksToMe     uint64
 	CTSToMe      uint64
 	DeauthsForMe uint64
@@ -76,8 +78,20 @@ func (a *Attacker) OnFrame(h func(f dot11.Frame, rx radio.Reception)) {
 	a.handlers = append(a.handlers, h)
 }
 
+// OnCorrupt registers a callback for receptions that failed the FCS
+// check. A real monitor-mode capture sees these as phy errors; the
+// verifier uses them to tell "nothing answered" (silent) apart from
+// "something answered but was mangled in flight" (inconclusive).
+func (a *Attacker) OnCorrupt(h func(rx radio.Reception)) {
+	a.corruptHandlers = append(a.corruptHandlers, h)
+}
+
 func (a *Attacker) onReceive(rx radio.Reception) {
 	if !rx.FCSOK {
+		a.FCSErrors++
+		for _, h := range a.corruptHandlers {
+			h(rx)
+		}
 		return
 	}
 	f, err := dot11.Decode(rx.Data)

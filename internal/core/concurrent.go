@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"hash/fnv"
 	"runtime/pprof"
 	"sync"
 
@@ -31,14 +32,31 @@ type ConcurrentScanner struct {
 	// ProbesPerDevice is how many fake frames each silent target gets
 	// before being written off.
 	ProbesPerDevice int
+	// MaxBusyParks caps how many transmitter-busy parks one target may
+	// accumulate before the injector gives up with an Inconclusive
+	// verdict. Without the cap a channel that never frees (a jammed or
+	// hogged transmitter) spins the injector forever in simulated time.
+	MaxBusyParks int
+	// BusyBackoffBase/BusyBackoffMax bound the exponential backoff
+	// between busy parks; the first park waits ~BusyBackoffBase, each
+	// further park doubles it up to BusyBackoffMax, plus deterministic
+	// per-target jitter so parked targets do not re-collide in step.
+	BusyBackoffBase eventsim.Time
+	BusyBackoffMax  eventsim.Time
+	// MissBackoffBase/MissBackoffMax bound the backoff between probe
+	// attempts after a negative verdict (the target may have been mid
+	// transmission); same doubling-with-jitter schedule.
+	MissBackoffBase eventsim.Time
+	MissBackoffMax  eventsim.Time
 
 	frameCh   chan frameEvent  // sniffer → discovery worker
 	targetCh  chan dot11.MAC   // discovery → injector
-	eventCh   chan verifyEvent // sim (armed/ack/timeout, in order) → verifier
+	eventCh   chan verifyEvent // sim (armed/ack/timeout/corrupt, in order) → verifier
 	verdictCh chan verdict     // verifier → injector
 
 	mu      sync.Mutex
 	devices map[dot11.MAC]*Device
+	seeded  []dot11.MAC
 
 	metrics PipelineMetrics
 }
@@ -52,6 +70,10 @@ type frameEvent struct {
 type verdict struct {
 	target dot11.MAC
 	acked  bool
+	// lossy records that a corrupted reception landed inside the
+	// probe's attribution window: the answer (if any) was mangled in
+	// flight, so a negative verdict is not evidence of silence.
+	lossy bool
 }
 
 // verifyEvent is the verifier's ordered input. All three kinds are
@@ -73,6 +95,7 @@ const (
 	evArmed   verifyKind = iota // injector sent a probe
 	evAck                       // an ACK to the spoofed MAC arrived
 	evTimeout                   // the probe's verification window closed
+	evCorrupt                   // an FCS-failed reception arrived
 )
 
 // NewConcurrentScanner wires the pipeline to an attacker. The
@@ -83,6 +106,11 @@ func NewConcurrentScanner(a *Attacker, bridge *rt.Bridge) *ConcurrentScanner {
 		attacker:        a,
 		bridge:          bridge,
 		ProbesPerDevice: 3,
+		MaxBusyParks:    16,
+		BusyBackoffBase: 200 * eventsim.Microsecond,
+		BusyBackoffMax:  5 * eventsim.Millisecond,
+		MissBackoffBase: 5 * eventsim.Millisecond,
+		MissBackoffMax:  20 * eventsim.Millisecond,
 		frameCh:         make(chan frameEvent, 1024),
 		targetCh:        make(chan dot11.MAC, 256),
 		eventCh:         make(chan verifyEvent, 256),
@@ -90,6 +118,21 @@ func NewConcurrentScanner(a *Attacker, bridge *rt.Bridge) *ConcurrentScanner {
 		devices:         make(map[dot11.MAC]*Device),
 	}
 	return s
+}
+
+// SeedTargets preloads the target list with known MACs (a targeted
+// strike list), so the injector probes them without waiting for the
+// discovery worker to overhear traffic from them. Call before Run.
+func (s *ConcurrentScanner) SeedTargets(targets ...dot11.MAC) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range targets {
+		if _, ok := s.devices[m]; ok {
+			continue
+		}
+		s.devices[m] = &Device{MAC: m, Kind: KindClient}
+		s.seeded = append(s.seeded, m)
+	}
 }
 
 // Run executes the scan for the given amount of simulated time and
@@ -113,14 +156,31 @@ func (s *ConcurrentScanner) Run(simDuration eventsim.Time) Tally {
 		})
 	})
 
-	// The verifier's ACK tap also runs under the simulation lock.
+	// The verifier's ACK and corrupt-reception taps also run under the
+	// simulation lock. Corrupt receptions matter only while a probe is
+	// open: an FCS-failed frame inside the attribution window means
+	// the verdict cannot distinguish silence from a mangled answer.
 	s.bridge.Do(func() {
 		s.attacker.OnFrame(func(f dot11.Frame, rx radio.Reception) {
 			if a, ok := f.(*dot11.Ack); ok && a.RA == s.attacker.MAC {
 				s.pushEvent(verifyEvent{kind: evAck, at: s.attacker.sched.Now()})
 			}
 		})
+		s.attacker.OnCorrupt(func(rx radio.Reception) {
+			s.pushEvent(verifyEvent{kind: evCorrupt, at: s.attacker.sched.Now()})
+		})
 	})
+
+	// Seeded targets go straight to the injector.
+	s.mu.Lock()
+	seeded := append([]dot11.MAC(nil), s.seeded...)
+	s.mu.Unlock()
+	for _, m := range seeded {
+		select {
+		case s.targetCh <- m:
+		default:
+		}
+	}
 
 	// Each worker runs under a pprof label so CPU/goroutine profiles
 	// attribute samples to the paper's thread roles.
@@ -212,6 +272,8 @@ func (s *ConcurrentScanner) injectorWorker(wg *sync.WaitGroup, done <-chan struc
 }
 
 func (s *ConcurrentScanner) probeTarget(target dot11.MAC, done <-chan struct{}) {
+	busyParks := 0
+	lossy := false
 	for attempt := 0; attempt < s.ProbesPerDevice; attempt++ {
 		// Drain stale verdicts (timeouts that fired after their probe
 		// was already resolved positively).
@@ -234,6 +296,9 @@ func (s *ConcurrentScanner) probeTarget(target dot11.MAC, done <-chan struct{}) 
 			}
 			injected = true
 			s.metrics.ProbesInjected.Inc()
+			if attempt > 0 {
+				s.metrics.Retries.Inc()
+			}
 			s.mu.Lock()
 			s.devices[target].Probes++
 			s.mu.Unlock()
@@ -250,10 +315,19 @@ func (s *ConcurrentScanner) probeTarget(target dot11.MAC, done <-chan struct{}) 
 		})
 		if !injected {
 			// Transmitter busy: park on a bridged simulated-time wait
-			// (one event, no OS-scheduler spinning) until the current
-			// transmission has had time to drain, then retry without
-			// consuming the attempt.
-			s.simSleep(200*eventsim.Microsecond, done)
+			// (one event, no OS-scheduler spinning), then retry without
+			// consuming the attempt — but only MaxBusyParks times. A
+			// channel that never frees used to loop here forever; now
+			// the target is written off as inconclusive.
+			busyParks++
+			s.metrics.BusyParks.Inc()
+			if busyParks > s.MaxBusyParks {
+				s.closeVerdict(target, VerdictInconclusive)
+				return
+			}
+			wait := backoffDelay(s.BusyBackoffBase, s.BusyBackoffMax, busyParks, target)
+			s.metrics.BackoffUS.ObserveTime(wait)
+			s.simSleep(wait, done)
 			select {
 			case <-done:
 				return
@@ -272,14 +346,67 @@ func (s *ConcurrentScanner) probeTarget(target dot11.MAC, done <-chan struct{}) 
 				d := s.devices[target]
 				d.Acks++
 				d.Responded = true
+				d.Verdict = VerdictResponded
 				s.mu.Unlock()
 				return
 			}
+			lossy = lossy || v.lossy
 		}
 		// Missed: the target may have been mid-transmission. Back off
-		// a few simulated milliseconds before the next attempt.
-		s.simSleep(5*eventsim.Millisecond, done)
+		// for an exponentially growing simulated wait before the next
+		// attempt.
+		if attempt < s.ProbesPerDevice-1 {
+			wait := backoffDelay(s.MissBackoffBase, s.MissBackoffMax, attempt+1, target)
+			s.metrics.BackoffUS.ObserveTime(wait)
+			s.simSleep(wait, done)
+		}
 	}
+	// Budget spent without an ACK. Only a clean run of timeouts is
+	// evidence of silence; corrupted receptions inside any attribution
+	// window leave the device unclassified.
+	if lossy {
+		s.closeVerdict(target, VerdictInconclusive)
+	} else {
+		s.closeVerdict(target, VerdictSilent)
+	}
+}
+
+// closeVerdict records a final non-responding verdict for a target.
+func (s *ConcurrentScanner) closeVerdict(target dot11.MAC, v Verdict) {
+	s.mu.Lock()
+	if d, ok := s.devices[target]; ok {
+		d.Verdict = v
+	}
+	s.mu.Unlock()
+	switch v {
+	case VerdictSilent:
+		s.metrics.VerdictSilent.Inc()
+	case VerdictInconclusive:
+		s.metrics.VerdictInconclusive.Inc()
+	}
+}
+
+// backoffDelay computes the nth backoff wait: base·2^(n−1) capped at
+// max, plus jitter in [0, base) derived by hashing the target and
+// attempt. The jitter is deliberately not drawn from the simulation
+// RNG: pipeline workers interleave nondeterministically in wall time,
+// and sharing a seeded stream with the simulation would make replay
+// depend on the OS scheduler.
+func backoffDelay(base, max eventsim.Time, n int, target dot11.MAC) eventsim.Time {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write(target[:])
+	h.Write([]byte{byte(n), byte(n >> 8)})
+	return d + eventsim.Time(h.Sum64()%uint64(base))
 }
 
 // simSleep blocks the calling worker until the simulation clock has
@@ -314,6 +441,7 @@ func (s *ConcurrentScanner) pushEvent(ev verifyEvent) {
 func (s *ConcurrentScanner) verifierWorker(wg *sync.WaitGroup, done <-chan struct{}) {
 	defer wg.Done()
 	open := false
+	sawCorrupt := false
 	var target dot11.MAC
 	var armedAt eventsim.Time
 	resolve := func(acked bool, at eventsim.Time) {
@@ -325,7 +453,7 @@ func (s *ConcurrentScanner) verifierWorker(wg *sync.WaitGroup, done <-chan struc
 		}
 		s.metrics.VerdictLatencyUS.ObserveTime(at - armedAt)
 		select {
-		case s.verdictCh <- verdict{target: target, acked: acked}:
+		case s.verdictCh <- verdict{target: target, acked: acked, lossy: sawCorrupt}:
 		case <-done:
 		}
 	}
@@ -338,11 +466,19 @@ func (s *ConcurrentScanner) verifierWorker(wg *sync.WaitGroup, done <-chan struc
 			switch ev.kind {
 			case evArmed:
 				open = true
+				sawCorrupt = false
 				target = ev.target
 				armedAt = ev.at
 			case evAck:
 				if open {
 					resolve(true, ev.at)
+				}
+			case evCorrupt:
+				// Our own radio cannot receive while transmitting, so
+				// any corrupt arrival between arming and the window
+				// close happened in the response slot.
+				if open {
+					sawCorrupt = true
 				}
 			case evTimeout:
 				if open && ev.target == target {
@@ -361,6 +497,9 @@ func (s *ConcurrentScanner) tally() Tally {
 		t.Total++
 		if d.Responded {
 			t.TotalResponded++
+		}
+		if d.Verdict == VerdictInconclusive {
+			t.Inconclusive++
 		}
 		if d.Kind == KindAP {
 			t.APs++

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"politewifi/internal/dot11"
+	"politewifi/internal/eventsim"
+	"politewifi/internal/faults"
+	"politewifi/internal/mac"
+	"politewifi/internal/phy"
+	"politewifi/internal/radio"
+	"politewifi/internal/rt"
+	"politewifi/internal/telemetry"
+)
+
+// TestConcurrentScannerHoggedChannelInconclusive pins the scanner's
+// own transmitter at 100% duty and checks the regression the busy-park
+// cap exists for: the injector used to `attempt--; continue` forever
+// on a channel that never frees. Now it must terminate within the
+// park budget and write the target off as inconclusive — not silent,
+// because no probe ever flew. Run with -race: the hog, the drive and
+// the workers all interleave.
+func TestConcurrentScannerHoggedChannelInconclusive(t *testing.T) {
+	sched := eventsim.NewScheduler()
+	rng := eventsim.NewRNG(31)
+	m := radio.NewMedium(sched, rng.Fork(), radio.Config{
+		PathLoss: radio.LogDistance{Exponent: 2.2}, CaptureMarginDB: 10,
+	})
+	attacker := NewAttacker(m, radio.Position{}, phy.Band2GHz, 6, DefaultFakeMAC)
+	bridge := rt.NewBridge(sched)
+
+	// Hog: back-to-back transmissions with zero gap. Each chain link
+	// re-transmits at the exact instant the previous frame ends
+	// (RunUntil is deadline-inclusive, so the link fires inside the
+	// drive quantum), which keeps Transmitting() true at every bridge
+	// window the injector could use.
+	filler := make([]byte, 700)
+	var hog func()
+	hog = func() {
+		end, err := attacker.Radio.Transmit(filler, phy.Rate6)
+		if err != nil {
+			sched.After(eventsim.Microsecond, hog)
+			return
+		}
+		sched.Schedule(end, hog)
+	}
+	bridge.Do(hog)
+
+	reg := telemetry.NewRegistry(sched.ObservedNow)
+	cs := NewConcurrentScanner(attacker, bridge)
+	cs.SetMetrics(reg)
+	target := dot11.MustMAC("ec:fa:bc:00:00:99")
+	cs.SeedTargets(target)
+
+	tally := cs.Run(2 * eventsim.Second) // termination IS the assertion
+
+	if tally.Total != 1 || tally.TotalResponded != 0 {
+		t.Fatalf("tally = %+v, want 1 discovered / 0 responded", tally)
+	}
+	if tally.Inconclusive != 1 {
+		t.Fatalf("tally = %+v, want the hogged-out target inconclusive", tally)
+	}
+	for _, d := range cs.Devices() {
+		if d.Verdict != VerdictInconclusive {
+			t.Fatalf("device %s verdict = %s, want inconclusive", d.MAC, d.Verdict)
+		}
+		if d.Probes != 0 {
+			t.Fatalf("device %s got %d probes through a 100%% busy transmitter", d.MAC, d.Probes)
+		}
+	}
+	rep := reg.Snapshot()
+	if c := rep.Counter("pipeline.busy_parks"); c == nil || c.Value == 0 {
+		t.Fatalf("pipeline.busy_parks = %+v, want > 0", c)
+	}
+	if c := rep.Counter("pipeline.verdicts.inconclusive"); c == nil || c.Value != 1 {
+		t.Fatalf("pipeline.verdicts.inconclusive = %+v, want 1", c)
+	}
+}
+
+// TestConcurrentScannerACKLossInconclusive runs the pipeline against a
+// live neighbourhood whose every ACK/CTS is eaten by the channel. The
+// victims answer — their responses just never survive to the capture
+// radio — so the honest verdict is inconclusive (a corrupted frame in
+// the attribution window), never silent-by-default. Run with -race.
+func TestConcurrentScannerACKLossInconclusive(t *testing.T) {
+	sched := eventsim.NewScheduler()
+	rng := eventsim.NewRNG(19)
+	m := radio.NewMedium(sched, rng.Fork(), radio.Config{
+		PathLoss: radio.LogDistance{Exponent: 2.2}, CaptureMarginDB: 10,
+	})
+	inj := faults.New(eventsim.NewRNG(7), faults.Config{ACKLoss: 1})
+	m.SetFaultInjector(inj)
+
+	for i := 0; i < 2; i++ {
+		apMAC := dot11.MustMAC("f2:6e:0b:00:0" + string(rune('0'+i)) + ":01")
+		clMAC := dot11.MustMAC("ec:fa:bc:00:0" + string(rune('0'+i)) + ":02")
+		pos := radio.Position{X: float64(i) * 20}
+		mac.New(m, rng.Fork(), mac.Config{
+			Name: "ap", Addr: apMAC, Role: mac.RoleAP, Profile: mac.ProfileGenericAP,
+			SSID: "h", Position: pos, Band: phy.Band2GHz, Channel: 6,
+		})
+		cl := mac.New(m, rng.Fork(), mac.Config{
+			Name: "cl", Addr: clMAC, Role: mac.RoleClient, Profile: mac.ProfileGenericClient,
+			SSID: "h", Position: radio.Position{X: pos.X + 3}, Band: phy.Band2GHz, Channel: 6,
+		})
+		cl.Associate(apMAC, nil)
+		sched.Every(150*eventsim.Millisecond, func() {
+			if cl.Associated() {
+				cl.SendData(apMAC, []byte("chatter"))
+			}
+		})
+	}
+	attacker := NewAttacker(m, radio.Position{X: 10, Y: 10}, phy.Band2GHz, 6, DefaultFakeMAC)
+	bridge := rt.NewBridge(sched)
+	cs := NewConcurrentScanner(attacker, bridge)
+
+	tally := cs.Run(4 * eventsim.Second) // termination IS the assertion
+
+	if tally.Total < 2 {
+		t.Fatalf("discovered %d devices, want at least the 2 APs/clients", tally.Total)
+	}
+	if tally.TotalResponded != 0 {
+		t.Fatalf("tally = %+v: responses attributed through 100%% ACK loss", tally)
+	}
+	if tally.Inconclusive < 1 {
+		t.Fatalf("tally = %+v, want lossy targets marked inconclusive", tally)
+	}
+	if inj.ACKDrops == 0 {
+		t.Fatal("the injector never dropped an ACK — the fault path was not exercised")
+	}
+}

@@ -28,6 +28,15 @@ type PipelineMetrics struct {
 	WorkerDiscovery *telemetry.Counter
 	WorkerInjector  *telemetry.Counter
 	WorkerVerifier  *telemetry.Counter
+
+	// Degraded-channel instruments, registered only via
+	// EnableFaultInstruments so a pristine run's report stays
+	// byte-identical: nil fields record nothing.
+	BusyParks           *telemetry.Counter
+	Retries             *telemetry.Counter
+	BackoffUS           *telemetry.Histogram
+	VerdictSilent       *telemetry.Counter
+	VerdictInconclusive *telemetry.Counter
 }
 
 // NewPipelineMetrics creates (or reattaches to) the pipeline family.
@@ -48,15 +57,40 @@ func NewPipelineMetrics(reg *telemetry.Registry) PipelineMetrics {
 	}
 }
 
+// EnableFaultInstruments registers the degraded-channel instruments
+// (retries, busy parks, backoff time, silent/inconclusive verdicts).
+// They are split from NewPipelineMetrics on purpose: every registered
+// instrument appears in the snapshot even at zero, so attaching them
+// unconditionally would change the telemetry report of runs that
+// never see a fault.
+func (m *PipelineMetrics) EnableFaultInstruments(reg *telemetry.Registry) {
+	m.BusyParks = reg.Counter("pipeline.busy_parks", "probe attempts parked on a busy transmitter")
+	m.Retries = reg.Counter("pipeline.retries", "probes re-sent after an unanswered attempt")
+	m.BackoffUS = reg.Histogram("pipeline.backoff_us",
+		"sim time spent in retry backoff per park (µs)", telemetry.TimeBucketsUS)
+	m.VerdictSilent = reg.Counter("pipeline.verdicts.silent", "targets that spent a clean probe budget unanswered")
+	m.VerdictInconclusive = reg.Counter("pipeline.verdicts.inconclusive", "targets without a clean verdict (lossy/contended/budget-starved)")
+}
+
 // SetMetrics installs pipeline telemetry on the cooperative scanner.
+// Fault instruments stay detached; drivers running under channel
+// faults add them with EnableFaultInstruments.
 func (s *Scanner) SetMetrics(reg *telemetry.Registry) {
 	s.metrics = NewPipelineMetrics(reg)
 }
 
+// EnableFaultInstruments attaches the degraded-channel instruments to
+// the cooperative scanner. Call after SetMetrics.
+func (s *Scanner) EnableFaultInstruments(reg *telemetry.Registry) {
+	s.metrics.EnableFaultInstruments(reg)
+}
+
 // SetMetrics installs pipeline telemetry on the concurrent scanner.
-// Call before Run.
+// Call before Run. The concurrent pipeline always reports its full
+// three-state verdicts, so the fault instruments come attached.
 func (s *ConcurrentScanner) SetMetrics(reg *telemetry.Registry) {
 	s.metrics = NewPipelineMetrics(reg)
+	s.metrics.EnableFaultInstruments(reg)
 }
 
 // InstrumentInto registers the attacker's monitor-mode counters as
@@ -65,6 +99,7 @@ func (a *Attacker) InstrumentInto(reg *telemetry.Registry) {
 	reg.CounterFunc("core.injected", "frames injected by the attacker", func() uint64 { return a.Injected })
 	reg.CounterFunc("core.inject_drops", "injections refused (transmitter busy)", func() uint64 { return a.InjectDrops })
 	reg.CounterFunc("core.frames_seen", "frames sniffed in monitor mode", func() uint64 { return a.FramesSeen })
+	reg.CounterFunc("core.fcs_errors", "receptions that failed the FCS check", func() uint64 { return a.FCSErrors })
 	reg.CounterFunc("core.acks_to_me", "ACKs addressed to the spoofed MAC", func() uint64 { return a.AcksToMe })
 	reg.CounterFunc("core.cts_to_me", "CTS addressed to the spoofed MAC", func() uint64 { return a.CTSToMe })
 	reg.CounterFunc("core.deauths_for_me", "deauths aimed at the spoofed MAC", func() uint64 { return a.DeauthsForMe })

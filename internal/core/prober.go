@@ -38,6 +38,15 @@ type ProbeResult struct {
 	// Responded is true if at least one response attributable to this
 	// probe arrived (the Polite WiFi verdict for the device).
 	Responded bool
+	// BusyParks counts attempts refunded because the transmitter was
+	// busy; Lossy counts attribution windows that saw a corrupted
+	// reception. Either taints a negative verdict.
+	BusyParks int
+	Lossy     int
+	// Verdict is the three-state outcome: Responded, Silent (clean
+	// budget spent unanswered), or Inconclusive (nothing clean sent,
+	// or losses landed inside attribution windows).
+	Verdict Verdict
 	// FirstGap is the observed gap between the end of the first
 	// answered probe and the start of its response — one SIFS plus
 	// the round-trip propagation, when the behaviour is present.
@@ -63,13 +72,19 @@ type Prober struct {
 	attacker *Attacker
 	mode     ProbeMode
 
-	res        ProbeResult
-	lastEnd    eventsim.Time
-	awaiting   bool
-	onComplete func(ProbeResult)
-	remaining  int
-	interval   eventsim.Time
-	stopped    bool
+	// MaxBusyRetries caps how many busy-transmitter parks a run will
+	// absorb before attempts stop being refunded. Without the cap a
+	// saturated channel would keep the run alive forever.
+	MaxBusyRetries int
+
+	res         ProbeResult
+	lastEnd     eventsim.Time
+	awaiting    bool
+	onComplete  func(ProbeResult)
+	remaining   int
+	interval    eventsim.Time
+	stopped     bool
+	busyRetries int
 }
 
 // attributionWindow is the slack around the expected SIFS response
@@ -78,8 +93,9 @@ const attributionWindow = 25 * eventsim.Microsecond
 
 // NewProber creates a prober on the attacker.
 func NewProber(a *Attacker, mode ProbeMode) *Prober {
-	p := &Prober{attacker: a, mode: mode}
+	p := &Prober{attacker: a, mode: mode, MaxBusyRetries: 8}
 	a.OnFrame(p.onFrame)
+	a.OnCorrupt(p.onCorrupt)
 	return p
 }
 
@@ -91,6 +107,7 @@ func (p *Prober) Run(target dot11.MAC, n int, interval eventsim.Time, done func(
 	p.interval = interval
 	p.onComplete = done
 	p.stopped = false
+	p.busyRetries = 0
 	p.step()
 }
 
@@ -110,6 +127,20 @@ func (p *Prober) step() {
 		end, err = p.attacker.InjectRTS(p.res.Target)
 	default:
 		end, err = p.attacker.InjectNull(p.res.Target)
+	}
+	if err != nil && p.busyRetries < p.MaxBusyRetries {
+		// Transmitter busy: refund the attempt and back off with
+		// exponentially growing, deterministically jittered sim-time
+		// delays instead of burning budget at the fixed cadence. Past
+		// the cap the attempt is consumed like any other miss, so a
+		// permanently hogged radio still terminates.
+		p.busyRetries++
+		p.remaining++
+		p.res.BusyParks++
+		p.attacker.sched.After(
+			backoffDelay(200*eventsim.Microsecond, 2*eventsim.Millisecond, p.busyRetries, p.res.Target),
+			p.step)
+		return
 	}
 	if err == nil {
 		p.res.Sent++
@@ -133,9 +164,26 @@ func (p *Prober) step() {
 }
 
 func (p *Prober) finish() {
+	switch {
+	case p.res.Responded:
+		p.res.Verdict = VerdictResponded
+	case p.res.Sent == 0 || p.res.Lossy > 0:
+		p.res.Verdict = VerdictInconclusive
+	default:
+		p.res.Verdict = VerdictSilent
+	}
 	if done := p.onComplete; done != nil {
 		p.onComplete = nil
 		done(p.res)
+	}
+}
+
+// onCorrupt marks the open attribution window lossy: something
+// answered in the response slot but failed the FCS check, so the
+// coming timeout is evidence of a hostile channel, not of silence.
+func (p *Prober) onCorrupt(rx radio.Reception) {
+	if p.awaiting && rx.Start > p.lastEnd {
+		p.res.Lossy++
 	}
 }
 

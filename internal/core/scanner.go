@@ -39,6 +39,14 @@ type Device struct {
 	Probes     int
 	Acks       int
 	Responded  bool
+	// Lossy counts probes whose attribution window contained a
+	// corrupted reception; Contended counts probes injected while CCA
+	// sensed the channel busy. Either taints a negative verdict.
+	Lossy     int
+	Contended int
+	// Verdict is the three-state outcome, assigned by the scanner when
+	// probing concludes (VerdictPending until then).
+	Verdict Verdict
 }
 
 // Scanner implements the paper's §3 wardriving program. The original
@@ -71,9 +79,16 @@ type Scanner struct {
 	lastTarget dot11.MAC
 	lastEnd    eventsim.Time
 	awaiting   bool
+	// lastContended: the in-flight probe was injected while CCA sensed
+	// the channel busy. lastCorrupt: a corrupted reception landed after
+	// the in-flight probe ended. Both taint the probe's timeout.
+	lastContended bool
+	lastCorrupt   bool
 
 	ticker       *eventsim.Ticker
 	activeTicker *eventsim.Ticker
+
+	finalized bool
 
 	metrics PipelineMetrics
 }
@@ -88,6 +103,7 @@ func NewScanner(a *Attacker) *Scanner {
 		devices:         make(map[dot11.MAC]*Device),
 	}
 	a.OnFrame(s.onFrame) // discovery + verification
+	a.OnCorrupt(s.onCorrupt)
 	return s
 }
 
@@ -116,7 +132,7 @@ func (s *Scanner) sendProbeRequest() {
 	})
 }
 
-// Stop halts the workers.
+// Stop halts the workers and closes every device's verdict.
 func (s *Scanner) Stop() {
 	if s.ticker != nil {
 		s.ticker.Stop()
@@ -125,6 +141,31 @@ func (s *Scanner) Stop() {
 	if s.activeTicker != nil {
 		s.activeTicker.Stop()
 		s.activeTicker = nil
+	}
+	s.finalizeVerdicts()
+}
+
+// finalizeVerdicts assigns the three-state outcome to every device. A
+// responder is VerdictResponded no matter how noisy the road there
+// was. A non-responder is VerdictSilent only if its full probe budget
+// was spent with no taint; lossy or contended probes — or a dwell
+// that ended before the budget was spent — yield VerdictInconclusive.
+func (s *Scanner) finalizeVerdicts() {
+	if s.finalized {
+		return
+	}
+	s.finalized = true
+	for _, d := range s.devices {
+		switch {
+		case d.Responded:
+			d.Verdict = VerdictResponded
+		case d.Lossy == 0 && d.Contended == 0 && d.Probes >= s.ProbesPerDevice:
+			d.Verdict = VerdictSilent
+			s.metrics.VerdictSilent.Inc()
+		default:
+			d.Verdict = VerdictInconclusive
+			s.metrics.VerdictInconclusive.Inc()
+		}
 	}
 }
 
@@ -218,6 +259,7 @@ func (s *Scanner) injectorStep() {
 		if s.attacker.Radio.Transmitting() {
 			return // try again next tick
 		}
+		contended := s.attacker.Radio.CCABusy()
 		end, err := s.attacker.InjectNull(mac)
 		if err != nil {
 			return
@@ -227,6 +269,8 @@ func (s *Scanner) injectorStep() {
 		s.lastTarget = mac
 		s.lastEnd = end
 		s.awaiting = true
+		s.lastContended = contended
+		s.lastCorrupt = false
 		window := s.attacker.Radio.Band().SIFS() +
 			phy.Airtime(phy.ControlRate(s.attacker.Rate), 14) + attributionWindow
 		s.attacker.sched.Schedule(end+window, func() {
@@ -234,6 +278,14 @@ func (s *Scanner) injectorStep() {
 				s.awaiting = false
 				s.metrics.VerdictTimeout.Inc()
 				s.metrics.VerdictLatencyUS.ObserveTime(window)
+				if td, ok := s.devices[s.lastTarget]; ok {
+					if s.lastCorrupt {
+						td.Lossy++
+					}
+					if s.lastContended {
+						td.Contended++
+					}
+				}
 			}
 		})
 		return
@@ -259,6 +311,16 @@ func (s *Scanner) verify(f dot11.Frame, rx radio.Reception) {
 	if d, ok := s.devices[s.lastTarget]; ok {
 		d.Acks++
 		d.Responded = true
+	}
+}
+
+// onCorrupt is the verifier's loss detector: a reception that failed
+// the FCS check while a probe's attribution window was open means
+// something answered but arrived mangled — the timeout that follows
+// is lossy, not silent.
+func (s *Scanner) onCorrupt(rx radio.Reception) {
+	if s.awaiting && rx.Start > s.lastEnd {
+		s.lastCorrupt = true
 	}
 }
 
@@ -296,6 +358,9 @@ type Tally struct {
 	ClientsResponded, APsQuiet int
 	APsResponded               int
 	Total, TotalResponded      int
+	// Inconclusive counts devices whose verdict could not separate
+	// "does not respond" from "channel ate the evidence".
+	Inconclusive int
 }
 
 // Tally computes the scan summary.
@@ -305,6 +370,9 @@ func (s *Scanner) Tally() Tally {
 		t.Total++
 		if d.Responded {
 			t.TotalResponded++
+		}
+		if d.Verdict == VerdictInconclusive {
+			t.Inconclusive++
 		}
 		switch d.Kind {
 		case KindAP:

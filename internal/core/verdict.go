@@ -1,0 +1,38 @@
+package core
+
+// Verdict is the three-state outcome of probing one target. The
+// paper's binary responded/not-responded split misclassifies lossy
+// channels: a target whose ACK was corrupted, or that was never
+// cleanly probed at all, is not evidence of a polite-WiFi-free
+// device — it is an inconclusive measurement.
+type Verdict int
+
+// Probe verdicts.
+const (
+	// VerdictPending: the target has not been probed to completion.
+	VerdictPending Verdict = iota
+	// VerdictResponded: at least one SIFS-timed ACK was attributed to
+	// a probe.
+	VerdictResponded
+	// VerdictSilent: the full probe budget was spent on a clean
+	// channel and nothing came back — the honest "does not respond".
+	VerdictSilent
+	// VerdictInconclusive: the probe budget ran out without a clean
+	// answer — corrupted receptions landed in attribution windows, the
+	// channel was sensed busy or never freed for injection, or the
+	// dwell ended before the budget was spent.
+	VerdictInconclusive
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictResponded:
+		return "responded"
+	case VerdictSilent:
+		return "silent"
+	case VerdictInconclusive:
+		return "inconclusive"
+	}
+	return "pending"
+}

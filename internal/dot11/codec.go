@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+
+	"politewifi/internal/eventsim"
 )
 
 // FCSLen is the length of the trailing frame check sequence.
@@ -165,9 +167,17 @@ func AckFor(f Frame) *Ack {
 	return &Ack{RA: f.TransmitterAddress()}
 }
 
-// CTSFor constructs the clear-to-send response to an RTS. The
-// duration is the RTS duration minus the CTS airtime and one SIFS,
-// clamped at zero; the caller provides that already-computed value.
-func CTSFor(r *RTS, duration uint16) *CTS {
-	return &CTS{RA: r.TA, Duration: duration}
+// CTSFor constructs the clear-to-send response to an RTS. elapsed is
+// the time consumed before the CTS's NAV starts (one SIFS plus the
+// CTS airtime); the remaining reservation is the RTS duration minus
+// elapsed, clamped at zero. The subtraction happens here, in signed
+// time — a caller-side `uint16(r.Duration - ...)` wraps to ~65535 µs
+// when a short RTS carries a duration smaller than the overhead,
+// turning a stale reservation into a 65 ms channel blackout.
+func CTSFor(r *RTS, elapsed eventsim.Time) *CTS {
+	var dur uint16
+	if need := eventsim.Time(r.Duration)*eventsim.Microsecond - elapsed; need > 0 {
+		dur = uint16(need / eventsim.Microsecond)
+	}
+	return &CTS{RA: r.TA, Duration: dur}
 }

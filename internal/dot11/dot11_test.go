@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"politewifi/internal/eventsim"
 )
 
 var (
@@ -456,10 +458,31 @@ func TestAckFor(t *testing.T) {
 }
 
 func TestCTSFor(t *testing.T) {
-	rts := &RTS{RA: victimMAC, TA: fakeMAC, Duration: 100}
-	cts := CTSFor(rts, 56)
-	if cts.RA != fakeMAC || cts.Duration != 56 {
-		t.Fatalf("CTS = %+v", cts)
+	tests := []struct {
+		name     string
+		duration uint16
+		elapsed  eventsim.Time
+		want     uint16
+	}{
+		{"normal", 100, 44 * eventsim.Microsecond, 56},
+		{"exact", 44, 44 * eventsim.Microsecond, 0},
+		// The underflow edge: an RTS whose duration is smaller than
+		// SIFS + CTS airtime must clamp at zero, not wrap to ~65535 µs.
+		{"underflow", 10, 44 * eventsim.Microsecond, 0},
+		{"zero duration", 0, 44 * eventsim.Microsecond, 0},
+		{"no elapsed", 100, 0, 100},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rts := &RTS{RA: victimMAC, TA: fakeMAC, Duration: tc.duration}
+			cts := CTSFor(rts, tc.elapsed)
+			if cts.RA != fakeMAC {
+				t.Fatalf("CTS RA = %v, want the RTS TA %v", cts.RA, fakeMAC)
+			}
+			if cts.Duration != tc.want {
+				t.Fatalf("CTS duration = %d, want %d", cts.Duration, tc.want)
+			}
+		})
 	}
 }
 

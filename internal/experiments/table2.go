@@ -103,7 +103,16 @@ func (r *Table2Result) Render() string {
 	fmt.Fprintf(&b, "responded to fake frames: %d (%.1f%%)\n",
 		r.Run.TotalResponded(), 100*r.ResponseRate)
 	if len(r.Run.NonResponders) > 0 {
-		fmt.Fprintf(&b, "non-responders: %d (out of RF range during their stop)\n", len(r.Run.NonResponders))
+		if r.Run.Faulted {
+			// Under injected faults the binary split is dishonest: report
+			// how many non-responders are channel casualties rather than
+			// confirmed silents.
+			fmt.Fprintf(&b, "non-responders: %d (%d inconclusive under channel faults, %d silent)\n",
+				len(r.Run.NonResponders), r.Run.Inconclusive,
+				len(r.Run.NonResponders)-r.Run.Inconclusive)
+		} else {
+			fmt.Fprintf(&b, "non-responders: %d (out of RF range during their stop)\n", len(r.Run.NonResponders))
+		}
 	}
 	return b.String()
 }

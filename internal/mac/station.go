@@ -418,12 +418,7 @@ func (s *Station) transmitAck(ta dot11.MAC, solicitRate phy.Rate, late bool, sol
 func (s *Station) respondCTS(r *dot11.RTS, rx radio.Reception) {
 	ctlRate := phy.ControlRate(rx.Rate)
 	ctsAir := phy.Airtime(ctlRate, 14)
-	var dur uint16
-	need := eventsim.Time(r.Duration)*eventsim.Microsecond - s.band.SIFS() - ctsAir
-	if need > 0 {
-		dur = uint16(need / eventsim.Microsecond)
-	}
-	cts := dot11.CTSFor(r, dur)
+	cts := dot11.CTSFor(r, s.band.SIFS()+ctsAir)
 	wire, err := dot11.Serialize(cts)
 	if err != nil {
 		return

@@ -146,10 +146,35 @@ type Medium struct {
 
 	metrics Metrics
 	tracer  *telemetry.Tracer
+	faults  FaultInjector
 
 	originRx     eventsim.Origin
 	originTxDone eventsim.Origin
 }
+
+// FaultInjector is an optional channel-impairment layer consulted by
+// the medium (see internal/faults for the standard implementation).
+// It sits after the physical model: CorruptRx only sees deliveries
+// that already survived path loss, collisions and the FER coin, so a
+// nil injector leaves the medium's behaviour — including its RNG draw
+// sequence — bit-identical to an uninstalled one.
+//
+// Implementations must be deterministic functions of their own seeded
+// state; the medium calls them only from scheduler context.
+type FaultInjector interface {
+	// CorruptRx reports whether the delivery of data from src to dst
+	// at virtual time now should be corrupted (delivered with FCSOK
+	// false, exactly like a natural PHY error).
+	CorruptRx(src, dst *Radio, data []byte, now eventsim.Time) bool
+	// NoiseAt reports whether scheduled interference is putting energy
+	// on the given channel at virtual time now; CCA sees it as a busy
+	// channel even when no decodable transmission is in flight.
+	NoiseAt(band phy.Band, channel int, now eventsim.Time) bool
+}
+
+// SetFaultInjector installs a channel fault injector. Nil (the
+// default) disables fault injection entirely.
+func (m *Medium) SetFaultInjector(f FaultInjector) { m.faults = f }
 
 type linkKey struct{ a, b *Radio }
 
@@ -354,6 +379,9 @@ func (r *Radio) CCABusy() bool {
 		return true
 	}
 	now := r.medium.Sched.Now()
+	if r.medium.faults != nil && r.medium.faults.NoiseAt(r.band, r.channel, now) {
+		return true
+	}
 	key := chanKey{r.band, r.channel}
 	for _, t := range r.medium.active[key] {
 		if t.source == r || t.end <= now {
@@ -512,6 +540,14 @@ func (r *Radio) endReception(t *transmission, rssi float64) {
 			fcsOK = false
 			r.medium.metrics.SNRDrops.Inc()
 		}
+	}
+	// Channel faults sit after the physical model: only deliveries
+	// that would otherwise have decoded cleanly are offered up, so the
+	// injector's drop counts measure impairment, not double-counted
+	// PHY errors.
+	if fcsOK && r.medium.faults != nil &&
+		r.medium.faults.CorruptRx(locked.source, r, locked.data, r.medium.Sched.Now()) {
+		fcsOK = false
 	}
 	r.medium.metrics.Deliveries.Inc()
 	if tr := r.medium.tracer; tr != nil {

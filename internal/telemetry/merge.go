@@ -117,7 +117,14 @@ func (g *Gauge) merge(v, max float64, set bool, lastAt eventsim.Time) {
 	}
 	g.mu.Lock()
 	g.v = v
-	if !g.set || max > g.max {
+	// The high-water mark resolves independently of which side's value
+	// or stamp wins: a never-set destination adopts the source's mark
+	// verbatim (its own zero is not a measurement — a negative-range
+	// source mark must survive the merge), while a set destination's
+	// mark can only ever be raised.
+	if !g.set {
+		g.max = max
+	} else if max > g.max {
 		g.max = max
 	}
 	g.set = true

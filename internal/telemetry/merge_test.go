@@ -60,6 +60,55 @@ func TestMergeGauges(t *testing.T) {
 	}
 }
 
+// The high-water mark must survive any merge order: a source whose
+// set stamp is newer but whose mark is lower may adopt the value, but
+// never lower the mark.
+func TestMergeGaugeHighWaterNeverLowered(t *testing.T) {
+	dst := NewRegistry(fixedClock(10 * eventsim.Second))
+	dst.Gauge("depth", "d").Set(9)
+
+	// Newer stamp, lower mark: value follows, mark holds.
+	src := NewRegistry(fixedClock(90 * eventsim.Second))
+	src.Gauge("depth", "d").Set(4)
+	dst.MergeFrom(src)
+	g := dst.Gauge("depth", "d")
+	g.mu.Lock()
+	at := g.lastAt
+	g.mu.Unlock()
+	if at != 90*eventsim.Second {
+		t.Fatalf("merged stamp = %s, want the source's 90s", at)
+	}
+	if g.Value() != 4 || g.Max() != 9 {
+		t.Fatalf("after newer-but-lower merge: value=%g max=%g, want 4/9", g.Value(), g.Max())
+	}
+
+	// Repeated merges of the same lower source must stay put.
+	dst.MergeFrom(src)
+	if g.Max() != 9 {
+		t.Fatalf("repeated merge lowered max to %g", g.Max())
+	}
+
+	// A never-set destination adopts a negative source mark verbatim —
+	// its own zero is not a measurement and must not win the max.
+	fresh := NewRegistry(nil)
+	fresh.Gauge("temp", "t")
+	neg := NewRegistry(nil)
+	neg.Gauge("temp", "t").Set(-12)
+	fresh.MergeFrom(neg)
+	ng := fresh.Gauge("temp", "t")
+	if ng.Value() != -12 || ng.Max() != -12 {
+		t.Fatalf("negative merge into fresh gauge: value=%g max=%g, want -12/-12", ng.Value(), ng.Max())
+	}
+
+	// And once set, a higher mark from a later shard raises it again.
+	hi := NewRegistry(nil)
+	hi.Gauge("depth", "d").Set(11)
+	dst.MergeFrom(hi)
+	if g.Max() != 11 {
+		t.Fatalf("higher source mark did not raise max: %g", g.Max())
+	}
+}
+
 func TestMergeHistograms(t *testing.T) {
 	bounds := []float64{1, 10, 100}
 	dst := NewRegistry(nil)

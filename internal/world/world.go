@@ -23,6 +23,7 @@ import (
 	"politewifi/internal/core"
 	"politewifi/internal/dot11"
 	"politewifi/internal/eventsim"
+	"politewifi/internal/faults"
 	"politewifi/internal/mac"
 	"politewifi/internal/oui"
 	"politewifi/internal/phy"
@@ -235,6 +236,8 @@ type DeviceOutcome struct {
 	Probes    int
 	Acks      int
 	Responded bool
+	// Verdict is the scanner's three-state outcome for the device.
+	Verdict core.Verdict
 }
 
 // Result accumulates the wardrive study.
@@ -244,6 +247,13 @@ type Result struct {
 
 	ClientsDiscovered, APsDiscovered int
 	ClientsResponded, APsResponded   int
+
+	// Inconclusive counts discovered devices whose verdict was tainted
+	// by channel faults (lossy or contended probes, starved budgets).
+	// Faulted records whether the run injected channel faults at all;
+	// renderers use it to keep pristine-run output byte-identical.
+	Inconclusive int
+	Faulted      bool
 
 	// NonResponders is ordered deterministically: by stop index in
 	// street order, then by device instantiation order within the stop
@@ -280,6 +290,13 @@ type Config struct {
 	// order afterwards, making the output identical for every worker
 	// count. 0 means GOMAXPROCS; 1 forces a sequential drive.
 	Workers int
+	// Faults, when non-nil and enabled, injects deterministic channel
+	// impairments (bursty loss, interference windows, deafness, ACK
+	// drops) into every stop's medium. Each stop's injector gets its
+	// own RNG fork, so results stay identical across worker counts.
+	// When nil or disabled, nothing is forked and nothing is consulted:
+	// the run is bit-identical to one built without fault support.
+	Faults *faults.Config
 	// Metrics, when non-nil, accumulates telemetry across every stop:
 	// each per-stop simulation fills a private registry (medium,
 	// stations, and scanner instruments), and the shards are merged
@@ -332,6 +349,7 @@ func Run(cfg Config) *Result {
 		ClientVendors: make(map[string]int),
 		APVendors:     make(map[string]int),
 		Stops:         len(stops),
+		Faulted:       cfg.Faults != nil && cfg.Faults.Enabled(),
 	}
 
 	// Pre-fork every stop's RNG in street order so the seed stream is
@@ -407,6 +425,7 @@ type stopResult struct {
 
 	clientsDiscovered, apsDiscovered int
 	clientsResponded, apsResponded   int
+	inconclusive                     int
 
 	nonResponders []DeviceOutcome
 
@@ -427,6 +446,7 @@ func (res *Result) absorb(sh *stopResult) {
 	res.APsDiscovered += sh.apsDiscovered
 	res.ClientsResponded += sh.clientsResponded
 	res.APsResponded += sh.apsResponded
+	res.Inconclusive += sh.inconclusive
 	res.NonResponders = append(res.NonResponders, sh.nonResponders...)
 }
 
@@ -448,6 +468,17 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
 		sh.metrics = telemetry.NewRegistry(sched.ObservedNow)
 		med.SetMetrics(radio.NewMetrics(sh.metrics))
 		macMx = mac.NewMetrics(sh.metrics)
+	}
+	// Fault injection: forked only when enabled, so a faults-off run
+	// consumes the exact RNG stream it did before fault support
+	// existed — and stays bit-identical to it.
+	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled()
+	if faultsOn {
+		inj := faults.New(rng.Fork(), *cfg.Faults)
+		med.SetFaultInjector(inj)
+		if sh.metrics != nil {
+			inj.InstrumentInto(sh.metrics)
+		}
 	}
 
 	type liveDev struct {
@@ -504,6 +535,9 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
 	scanner := core.NewScanner(attacker)
 	if sh.metrics != nil {
 		scanner.SetMetrics(sh.metrics)
+		if faultsOn {
+			scanner.EnableFaultInstruments(sh.metrics)
+		}
 	}
 	scanner.ProbeInterval = 2 * eventsim.Millisecond
 	scanner.ActiveScanInterval = 50 * eventsim.Millisecond
@@ -544,13 +578,17 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
 			}
 		}
 		if !d.Responded {
+			if d.Verdict == core.VerdictInconclusive {
+				sh.inconclusive++
+			}
 			sh.nonResponders = append(sh.nonResponders, DeviceOutcome{
 				Spec: dev.spec, Probes: d.Probes, Acks: d.Acks,
+				Verdict: d.Verdict,
 			})
 		}
 	}
 	if sh.metrics != nil {
-		accumulateStop(sh.metrics, sched, attacker)
+		accumulateStop(sh.metrics, sched, attacker, faultsOn)
 	}
 	return sh
 }
@@ -559,7 +597,7 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
 // the drive-wide registry. Each stop owns a fresh scheduler and
 // attacker, so sampled funcs would only ever show the last stop;
 // adding into plain counters at stop teardown sums the whole drive.
-func accumulateStop(reg *telemetry.Registry, sched *eventsim.Scheduler, a *core.Attacker) {
+func accumulateStop(reg *telemetry.Registry, sched *eventsim.Scheduler, a *core.Attacker, faultsOn bool) {
 	reg.Counter("sched.events_fired", "events executed (summed over stops)").Add(sched.Fired())
 	for origin, n := range sched.FiredByOrigin() {
 		reg.Counter("sched.fired."+origin, "events executed, by schedule origin").Add(n)
@@ -568,6 +606,11 @@ func accumulateStop(reg *telemetry.Registry, sched *eventsim.Scheduler, a *core.
 	reg.Counter("core.injected", "frames injected by the attacker").Add(a.Injected)
 	reg.Counter("core.inject_drops", "injections refused (transmitter busy)").Add(a.InjectDrops)
 	reg.Counter("core.frames_seen", "frames sniffed in monitor mode").Add(a.FramesSeen)
+	if faultsOn {
+		// Registered only under faults so a pristine run's telemetry
+		// report keeps its exact historical shape.
+		reg.Counter("core.fcs_errors", "receptions that failed the FCS check").Add(a.FCSErrors)
+	}
 	reg.Counter("core.acks_to_me", "ACKs addressed to the spoofed MAC").Add(a.AcksToMe)
 	reg.Counter("core.cts_to_me", "CTS addressed to the spoofed MAC").Add(a.CTSToMe)
 	reg.Counter("core.deauths_for_me", "deauths aimed at the spoofed MAC").Add(a.DeauthsForMe)

@@ -1,0 +1,135 @@
+// Command politevet is the repository's determinism and
+// 802.11-arithmetic vet tool. It enforces, mechanically, the
+// invariants the bit-identical wardrive census rests on:
+//
+//	wallclock    no time.Now/Sleep/... outside cmd/ UX paths
+//	globalrand   no global math/rand draws, no *rand.Rand shared into goroutines
+//	sortedrange  no emitting from inside a range-over-map loop
+//	durwrap      no unguarded unsigned narrowing/subtraction of durations
+//	simsleep     no busy-wait polling without an event-queue yield
+//
+// Sanctioned exceptions carry a //politevet:allow <analyzer>(<reason>)
+// directive; the reason is mandatory. See DESIGN.md §5e.
+//
+// Two modes:
+//
+//	politevet ./...                          standalone, loads packages itself
+//	go vet -vettool=$(which politevet) ./... driven by the go command
+//
+// The second form is what CI runs; both report identical findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"politewifi/internal/lint"
+	"politewifi/internal/lint/load"
+	"politewifi/internal/lint/unit"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("politevet", flag.ExitOnError)
+	fs.Usage = usage(fs)
+	versionFlag := fs.String("V", "", "print version and exit (go vet protocol; use -V=full)")
+	flagsFlag := fs.Bool("flags", false, "print a JSON description of supported flags and exit (go vet protocol)")
+	testsFlag := fs.Bool("tests", true, "standalone mode: also analyze test files")
+	enabled := map[string]*bool{}
+	for _, a := range lint.Analyzers() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *versionFlag != "":
+		if err := unit.PrintVersion(os.Stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+	case *flagsFlag:
+		if err := unit.PrintFlags(os.Stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	keep := map[string]bool{}
+	for name, on := range enabled {
+		keep[name] = *on
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		// go vet protocol: analyze one package unit.
+		n, err := unit.RunConfig(args[0], keep, os.Stderr)
+		if err != nil {
+			return fail(err)
+		}
+		if n > 0 {
+			return 2
+		}
+		return 0
+	}
+
+	if len(args) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	pkgs, err := load.Packages("", *testsFlag, args...)
+	if err != nil {
+		return fail(err)
+	}
+	var analyzers = lint.Analyzers()
+	kept := analyzers[:0:0]
+	for _, a := range analyzers {
+		if keep[a.Name] {
+			kept = append(kept, a)
+		}
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "politevet: %s: typecheck: %v\n", pkg.ImportPath, terr)
+			exit = 1
+		}
+		findings, err := lint.RunPackage(pkg, kept)
+		if err != nil {
+			return fail(err)
+		}
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "politevet: %v\n", err)
+	return 1
+}
+
+func usage(fs *flag.FlagSet) func() {
+	return func() {
+		fmt.Fprintf(fs.Output(), `usage:
+  politevet [flags] ./...                      analyze packages standalone
+  go vet -vettool=$(which politevet) ./...     run under the go command
+
+politevet enforces the simulator's determinism invariants; see
+DESIGN.md §5e. Suppress a sanctioned finding with a trailing
+//politevet:allow <analyzer>(<reason>) directive — the reason is
+mandatory.
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
+}

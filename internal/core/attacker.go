@@ -154,10 +154,16 @@ func (a *Attacker) InjectNull(target dot11.MAC) (eventsim.Time, error) {
 // InjectRTS sends a fake request-to-send. Control frames cannot be
 // protected, so the CTS response is unpreventable even in principle.
 func (a *Attacker) InjectRTS(target dot11.MAC) (eventsim.Time, error) {
+	// Duration/ID is a uint16 microsecond field; clamp in signed sim
+	// time before narrowing (the dot11.CTSFor underflow lesson).
+	us := (a.Radio.Band().SIFS() + phy.Airtime(phy.ControlRate(a.Rate), 14)) / eventsim.Microsecond * 2
+	if us > 32767 {
+		us = 32767
+	}
 	return a.Inject(&dot11.RTS{
 		RA:       target,
 		TA:       a.MAC,
-		Duration: uint16((a.Radio.Band().SIFS() + phy.Airtime(phy.ControlRate(a.Rate), 14)) / eventsim.Microsecond * 2),
+		Duration: uint16(us),
 	})
 }
 

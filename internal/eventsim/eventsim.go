@@ -311,9 +311,9 @@ func (s *Scheduler) Step() bool {
 		s.firedByOrigin[e.origin]++
 		if obs := s.observer; obs != nil {
 			if s.observeWall {
-				start := time.Now()
+				start := time.Now() //politevet:allow wallclock(opt-in per-event wall profiling behind SetFireObserver measureWall; never feeds sim state)
 				e.fn()
-				obs(s.originNames[e.origin], time.Since(start))
+				obs(s.originNames[e.origin], time.Since(start)) //politevet:allow wallclock(duration of the same profiling measurement)
 			} else {
 				e.fn()
 				obs(s.originNames[e.origin], 0)
@@ -382,14 +382,21 @@ func (s *Scheduler) peek() *Event {
 }
 
 // RNG is the deterministic random source used throughout the
-// simulator. It wraps math/rand with a few distributions the channel
-// and mobility models need. A single RNG is shared per simulation so
-// replaying a seed replays the entire run.
+// simulator — the only sanctioned RNG entry point; politevet's
+// globalrand analyzer enforces this. It wraps an explicit, privately
+// owned *rand.Rand (never the package-global math/rand source) with
+// the distributions the channel and mobility models need, so every
+// draw in a run is a pure function of the seed: a single RNG is
+// shared per simulation (or seed-forked per shard, see Fork) and
+// replaying a seed replays the entire run. Every distribution helper
+// below draws from that explicit source and from nothing else.
 type RNG struct {
 	r *rand.Rand
 }
 
-// NewRNG returns a deterministic generator for the given seed.
+// NewRNG returns a deterministic generator for the given seed. This
+// and (*RNG).Fork are the only places the simulator may mint a
+// random source.
 func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
 }

@@ -409,7 +409,7 @@ func TestFireObserver(t *testing.T) {
 	s.SetFireObserver(func(origin string, wall time.Duration) {
 		seen = append(seen, obs{origin, wall})
 	}, true)
-	s.ScheduleTagged(rx, 10, func() { time.Sleep(time.Millisecond) })
+	s.ScheduleTagged(rx, 10, func() { time.Sleep(time.Millisecond) }) //politevet:allow wallclock(test burns wall time so the measuring observer has something to measure)
 	s.Schedule(20, func() {})
 	s.Run()
 	if len(seen) != 2 {
@@ -426,7 +426,7 @@ func TestFireObserver(t *testing.T) {
 	s.SetFireObserver(func(origin string, wall time.Duration) {
 		seen = append(seen, obs{origin, wall})
 	}, false)
-	s.Schedule(30, func() { time.Sleep(time.Millisecond) })
+	s.Schedule(30, func() { time.Sleep(time.Millisecond) }) //politevet:allow wallclock(non-measuring observer path must still execute a slow callback)
 	s.Run()
 	if len(seen) != 1 || seen[0].wall != 0 {
 		t.Fatalf("non-measuring observer saw %v", seen)

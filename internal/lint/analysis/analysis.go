@@ -1,0 +1,108 @@
+// Package analysis is a deliberately small re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary on top of the standard
+// library, sized to what politevet needs: typed single-package
+// analyzers with positioned diagnostics and directive-based
+// suppression. The repository vendors no third-party modules, so the
+// vet framework politevet runs on is built here from go/ast and
+// go/types alone.
+//
+// The API mirrors x/tools where the concepts coincide (Analyzer,
+// Pass, Diagnostic, Reportf) so the analyzers read like any other
+// go/analysis checker and could be ported to the upstream framework
+// by changing only imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+)
+
+// Analyzer describes one invariant checker. Name is the identifier
+// used in diagnostics and in //politevet:allow directives; Doc is a
+// short description shown by `politevet -help`.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Run performs the analysis over one package and reports
+	// diagnostics through pass.Report. The error return is for
+	// analysis malfunctions, not findings.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic to the driver, which applies
+	// //politevet:allow suppression before surfacing it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Preorder calls fn for every node in every file whose concrete type
+// matches one of the example nodes in nodeTypes (all nodes when
+// nodeTypes is empty), in depth-first source order.
+func (p *Pass) Preorder(nodeTypes []ast.Node, fn func(ast.Node)) {
+	match := matcher(nodeTypes)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if match(n) {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// WithStack is Preorder with the enclosing-node stack: stack[0] is
+// the *ast.File and stack[len(stack)-1] is the matched node itself.
+// The stack slice is reused between calls; callers must not retain it.
+func (p *Pass) WithStack(nodeTypes []ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	match := matcher(nodeTypes)
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			if match(n) {
+				fn(n, stack)
+			}
+			return true
+		})
+	}
+}
+
+func matcher(nodeTypes []ast.Node) func(ast.Node) bool {
+	if len(nodeTypes) == 0 {
+		return func(ast.Node) bool { return true }
+	}
+	want := make(map[reflect.Type]bool, len(nodeTypes))
+	for _, t := range nodeTypes {
+		want[reflect.TypeOf(t)] = true
+	}
+	return func(n ast.Node) bool { return want[reflect.TypeOf(n)] }
+}

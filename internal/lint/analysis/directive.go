@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Directive is one parsed //politevet:allow comment. The grammar is
+//
+//	//politevet:allow <analyzer>(<reason>)
+//
+// where <analyzer> names a registered analyzer and <reason> is a
+// non-empty free-text justification. A directive written as a
+// trailing comment suppresses that analyzer's findings on its own
+// line; a directive on a line of its own suppresses findings on the
+// next line. A directive with an empty reason suppresses nothing and
+// is itself a diagnostic: the whole point is that every escape from
+// an invariant carries its justification in the source.
+type Directive struct {
+	Pos      token.Pos
+	Analyzer string
+	Reason   string
+
+	// Malformed is a description of a grammar violation ("" when the
+	// directive parsed cleanly). Malformed directives never suppress.
+	Malformed string
+}
+
+const directivePrefix = "//politevet:"
+
+// directiveRE tolerates a trailing // comment after the directive
+// (fixtures use it for // want expectations); anything else after
+// the closing paren is malformed.
+var directiveRE = regexp.MustCompile(`^//politevet:allow\s+([A-Za-z0-9_-]+)\(([^)]*)\)\s*(?://.*)?$`)
+
+// ParseDirectives extracts every politevet directive from the file's
+// comments. Anything starting with //politevet: that does not match
+// the grammar is returned with Malformed set, so typos fail loudly
+// instead of silently not suppressing.
+func ParseDirectives(f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			d := Directive{Pos: c.Pos()}
+			m := directiveRE.FindStringSubmatch(text)
+			switch {
+			case m == nil:
+				d.Malformed = "directive does not match //politevet:allow <analyzer>(<reason>)"
+			case strings.TrimSpace(m[2]) == "":
+				d.Analyzer = m[1]
+				d.Malformed = "directive reason must not be empty"
+			default:
+				d.Analyzer = m[1]
+				d.Reason = strings.TrimSpace(m[2])
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Suppressor indexes a package's valid directives by analyzer and
+// line so the driver can filter diagnostics.
+type Suppressor struct {
+	fset *token.FileSet
+	// byKey maps "filename:line:analyzer" to the directive index.
+	byKey map[string]bool
+}
+
+// NewSuppressor indexes the valid (well-formed, reasoned) directives
+// of the given files.
+func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
+	s := &Suppressor{fset: fset, byKey: make(map[string]bool)}
+	for _, f := range files {
+		for _, d := range ParseDirectives(f) {
+			if d.Malformed != "" {
+				continue
+			}
+			p := fset.Position(d.Pos)
+			// A directive covers its own line (trailing-comment form)
+			// and the following line (standalone-comment form).
+			s.byKey[key(p.Filename, p.Line, d.Analyzer)] = true
+			s.byKey[key(p.Filename, p.Line+1, d.Analyzer)] = true
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by a directive.
+func (s *Suppressor) Suppressed(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	return s.byKey[key(p.Filename, p.Line, analyzer)]
+}
+
+func key(file string, line int, analyzer string) string {
+	return file + ":" + strconv.Itoa(line) + ":" + analyzer
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PkgLevelRef reports whether sel is a qualified reference to a
+// package-level identifier of the package with the given import path
+// (sel.X resolves to the package name itself, not to a value whose
+// type happens to live there), and returns the referenced name.
+func (p *Pass) PkgLevelRef(sel *ast.SelectorExpr, pkgPath string) (name string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", false
+	}
+	pn, isPkg := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !isPkg || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// NamedType reports whether t (after stripping pointers) is the named
+// type pkgPath.name.
+func NamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// ReceiverNamed returns the named type of a method call's receiver
+// (stripping one pointer), or nil when the call is not a method call
+// on a named type.
+func (p *Pass) ReceiverNamed(call *ast.CallExpr) *types.Named {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := p.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	t := s.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsConversion reports whether call is a type conversion and returns
+// the target type.
+func (p *Pass) IsConversion(call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := p.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// IsUnsigned reports whether t's underlying type is an unsigned
+// integer, and returns its bit size (0 for uint/uintptr, whose size
+// is platform-dependent).
+func IsUnsigned(t types.Type) (bits int, ok bool) {
+	b, isBasic := t.Underlying().(*types.Basic)
+	if !isBasic {
+		return 0, false
+	}
+	switch b.Kind() {
+	case types.Uint8:
+		return 8, true
+	case types.Uint16:
+		return 16, true
+	case types.Uint32:
+		return 32, true
+	case types.Uint64:
+		return 64, true
+	case types.Uint, types.Uintptr:
+		return 0, true
+	}
+	return 0, false
+}
+
+// IsSignedInt reports whether t's underlying type is a signed integer.
+func IsSignedInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0 && b.Info()&types.IsUnsigned == 0
+}

@@ -1,0 +1,154 @@
+// Package analysistest runs a politevet analyzer over a fixture
+// package and checks its findings against // want comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest (which this
+// repository does not vendor).
+//
+// A fixture lives under the analyzer's testdata/src/<name> directory
+// and marks expected findings with trailing comments:
+//
+//	time.Now() // want "reads the wall clock"
+//
+// Each quoted string is a regular expression that must match one
+// finding reported on that line; findings with no matching want, and
+// wants with no matching finding, fail the test. Because fixtures run
+// through the same driver as politevet proper, //politevet:allow
+// directives suppress findings in fixtures too — a line carrying a
+// reasoned directive simply expects nothing.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"politewifi/internal/lint"
+	"politewifi/internal/lint/analysis"
+	"politewifi/internal/lint/load"
+)
+
+// wantRE matches a want clause anywhere in a comment (so it can
+// trail a //politevet:allow directive on the same line) and captures
+// the run of quoted patterns ending the comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)$`)
+
+// Run loads testdata/src/<fixture> relative to the calling test's
+// package directory and checks the analyzer's findings against the
+// fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	pattern := "./testdata/src/" + fixture
+	pkgs, err := load.Packages("", false, pattern)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pattern, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s loaded %d packages, want 1", pattern, len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: typecheck: %v", pattern, terr)
+	}
+
+	findings, err := lint.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pattern, err)
+	}
+
+	// Index findings and expectations by file:line.
+	got := make(map[loc][]lint.Finding)
+	for _, f := range findings {
+		l := loc{f.Pos.Filename, f.Pos.Line}
+		got[l] = append(got[l], f)
+	}
+
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				l := loc{p.Filename, p.Line}
+				for _, pat := range parseWants(t, p.String(), m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", p, pat, err)
+					}
+					if !consume(got, l, re) {
+						t.Errorf("%s: no finding matching %q (have %s)", p, pat, messages(got[l]))
+					}
+				}
+			}
+		}
+	}
+
+	for _, fs := range got {
+		for _, f := range fs {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+type loc struct {
+	file string
+	line int
+}
+
+// consume removes and reports the first finding at l whose message
+// matches re.
+func consume(got map[loc][]lint.Finding, l loc, re *regexp.Regexp) bool {
+	fs := got[l]
+	for i, f := range fs {
+		if re.MatchString(f.Message) {
+			got[l] = append(fs[:i:i], fs[i+1:]...)
+			if len(got[l]) == 0 {
+				delete(got, l)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants splits `"re1" "re2"` into its quoted patterns.
+func parseWants(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s: malformed want comment near %q", pos, s)
+		}
+		end := 1
+		for end < len(s) && s[end] != '"' {
+			if s[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(s) {
+			t.Fatalf("%s: unterminated want pattern in %q", pos, s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+func messages(fs []lint.Finding) string {
+	if len(fs) == 0 {
+		return "none"
+	}
+	var msgs []string
+	for _, f := range fs {
+		msgs = append(msgs, fmt.Sprintf("%q [%s]", f.Message, f.Analyzer))
+	}
+	return strings.Join(msgs, ", ")
+}

@@ -1,0 +1,71 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"politewifi/internal/lint"
+)
+
+// moduleRoot walks up from the working directory to the directory
+// containing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsClean is the regression gate: politevet over the whole
+// module, tests included, must report nothing at HEAD. Every
+// sanctioned violation carries a reasoned //politevet:allow directive;
+// a new finding here means either a real determinism hazard or a
+// missing annotation.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	findings, err := lint.Run(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestVettoolProtocol builds the politevet binary and runs it the way
+// CI does — as a go vet -vettool — over a package with a sanctioned,
+// annotated wallclock use, asserting a clean exit end to end.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "politevet")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/politevet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/politevet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/eventsim/")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over eventsim should be clean: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,91 @@
+// Package a is a durwrap fixture: the dot11.CTSFor NAV-underflow bug
+// class, reintroduced, alongside the sanctioned guarded shapes.
+package a
+
+// Time mirrors eventsim.Time: signed nanoseconds of sim time.
+type Time int64
+
+// Microsecond mirrors eventsim.Microsecond.
+const Microsecond Time = 1000
+
+// RTS mirrors the wire frame: Duration is a bare uint16 µs count.
+type RTS struct {
+	Duration uint16
+}
+
+// ctsForBuggy is the original CTSFor bug, reintroduced: when the RTS
+// carries less duration than the response overhead, the subtraction
+// wraps to ~65535 µs before the narrowing conversion ever sees it.
+func ctsForBuggy(r *RTS, overheadUS uint16) uint16 {
+	return r.Duration - overheadUS // want "unsigned subtraction r.Duration - overheadUS on duration-like operands wraps below zero"
+}
+
+// ctsForNarrow reintroduces the same bug one layer up: subtract in
+// signed sim time but narrow the possibly-negative result straight
+// into the uint16 wire field.
+func ctsForNarrow(r *RTS, elapsed Time) uint16 {
+	return uint16((Time(r.Duration)*Microsecond - elapsed) / Microsecond) // want "uint16\\(\\.\\.\\.\\) narrows duration-typed"
+}
+
+// ctsForFixed is the sanctioned shape from dot11.CTSFor: subtract in
+// signed time, clamp at zero, then narrow.
+func ctsForFixed(r *RTS, elapsed Time) uint16 {
+	remaining := Time(r.Duration)*Microsecond - elapsed
+	if remaining < 0 {
+		remaining = 0
+	}
+	return uint16(remaining / Microsecond)
+}
+
+// guardedEarlyExit bails out before the subtraction can wrap.
+func guardedEarlyExit(deadline, now uint32) uint32 {
+	if now > deadline {
+		return 0
+	}
+	return deadline - now
+}
+
+// enclosingCond is guarded by the surrounding if condition.
+func enclosingCond(timeout, elapsed uint16) uint16 {
+	if timeout > elapsed {
+		return timeout - elapsed
+	}
+	return 0
+}
+
+// unguarded wraps when elapsed exceeds timeout.
+func unguarded(timeout, elapsed uint16) uint16 {
+	return timeout - elapsed // want "unsigned subtraction timeout - elapsed on duration-like operands wraps below zero"
+}
+
+// narrowUnguarded narrows a signed duration with no dominating guard.
+func narrowUnguarded(d Time) uint32 {
+	return uint32(d / Microsecond) // want "uint32\\(\\.\\.\\.\\) narrows duration-typed"
+}
+
+// narrowClamped narrows through the builtin max, which floors at zero.
+func narrowClamped(d Time) uint32 {
+	return uint32(max(d, 0) / Microsecond)
+}
+
+// narrowConst narrows a compile-time constant; the compiler range-checks it.
+func narrowConst() uint16 {
+	return uint16(32 * Microsecond / Microsecond)
+}
+
+// seqDelta is modular sequence arithmetic: the mask makes wraparound
+// intentional, not a hazard. (seqDuration is duration-like by name.)
+func seqDelta(a, seqDuration uint16) uint16 {
+	return (a - seqDuration) & 0x0fff
+}
+
+// counters is unsigned subtraction of non-duration quantities; out of
+// scope for this analyzer.
+func counters(sent, acked uint32) uint32 {
+	return sent - acked
+}
+
+// sanctioned carries a reasoned directive.
+func sanctioned(nav uint16) uint16 {
+	return nav - 1 //politevet:allow durwrap(fixture for a sanctioned wire-field decrement)
+}

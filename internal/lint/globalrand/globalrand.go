@@ -1,0 +1,93 @@
+// Package globalrand forbids the process-global math/rand source and
+// racy sharing of *rand.Rand across goroutines. Every stochastic
+// draw in the simulator must come from a seed-forked eventsim.RNG
+// (the sanctioned entry point: eventsim.NewRNG and RNG.Fork), so a
+// run replays bit-identically from its seed at any worker count. A
+// single rand.Intn against the global source — or one *rand.Rand
+// shared by two goroutines — reorders the stream and breaks the
+// census cross-check in internal/world.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"politewifi/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid package-level math/rand draws and *rand.Rand captured by goroutine closures; " +
+		"draw from seed-forked eventsim.RNG instances instead",
+	Run: run,
+}
+
+// draws lists the math/rand (and v2) package-level functions that
+// consume the global source. Constructors (New, NewSource, NewPCG,
+// NewChaCha8, NewZipf) are exempt: building a private generator from
+// an explicit seed is exactly the sanctioned pattern.
+var draws = map[string]map[string]bool{
+	"math/rand": set("Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+		"Uint32", "Uint64", "Float32", "Float64", "NormFloat64", "ExpFloat64",
+		"Perm", "Shuffle", "Seed", "Read"),
+	"math/rand/v2": set("Int", "IntN", "Int32", "Int32N", "Int64", "Int64N",
+		"Uint", "UintN", "Uint32", "Uint32N", "Uint64", "Uint64N",
+		"Float32", "Float64", "NormFloat64", "ExpFloat64", "Perm", "Shuffle", "N"),
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		for path, names := range draws {
+			if name, ok := pass.PkgLevelRef(sel, path); ok && names[name] {
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the process-global source and is not replayable from a seed; draw from a seed-forked *eventsim.RNG (eventsim.NewRNG / (*RNG).Fork), the simulator's only sanctioned RNG entry point",
+					name)
+			}
+		}
+	})
+
+	pass.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		lit, ok := n.(*ast.GoStmt).Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		seen := make(map[types.Object]bool)
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || seen[obj] || !isRand(obj.Type()) {
+				return true
+			}
+			// Captured means declared outside the closure's extent.
+			if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+				return true
+			}
+			seen[obj] = true
+			pass.Reportf(id.Pos(),
+				"*rand.Rand %q is captured by a goroutine closure; concurrent draws race and reorder the stream. Fork a private generator for the goroutine before spawning it (eventsim.RNG.Fork)",
+				id.Name)
+			return true
+		})
+	})
+	return nil
+}
+
+// isRand reports whether t is (a pointer to) math/rand.Rand or
+// math/rand/v2.Rand.
+func isRand(t types.Type) bool {
+	return analysis.NamedType(t, "math/rand", "Rand") ||
+		analysis.NamedType(t, "math/rand/v2", "Rand")
+}

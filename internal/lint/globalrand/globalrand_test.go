@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"politewifi/internal/lint/analysistest"
+	"politewifi/internal/lint/globalrand"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, globalrand.Analyzer, "a")
+}

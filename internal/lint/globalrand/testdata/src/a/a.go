@@ -1,0 +1,52 @@
+// Package a is a globalrand fixture: draws from the process-global
+// math/rand source and racy *rand.Rand sharing.
+package a
+
+import "math/rand"
+
+func globalDraws() {
+	_ = rand.Intn(10)     // want "rand.Intn draws from the process-global source"
+	_ = rand.Float64()    // want "rand.Float64 draws from the process-global source"
+	_ = rand.Int63n(100)  // want "rand.Int63n draws from the process-global source"
+	rand.Shuffle(3, swap) // want "rand.Shuffle draws from the process-global source"
+	_ = rand.Perm(4)      // want "rand.Perm draws from the process-global source"
+}
+
+func swap(i, j int) {}
+
+// Constructing a private, seeded generator is the sanctioned pattern;
+// method calls on it are fine.
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+// A *rand.Rand captured by a goroutine closure races: two goroutines
+// interleave draws nondeterministically.
+func captured() {
+	r := rand.New(rand.NewSource(1))
+	go func() {
+		_ = r.Intn(5) // want "\\*rand.Rand \"r\" is captured by a goroutine closure"
+	}()
+}
+
+// A generator declared inside the goroutine is private to it.
+func private() {
+	go func() {
+		r := rand.New(rand.NewSource(2))
+		_ = r.Intn(5)
+	}()
+}
+
+// Passing the generator as an argument re-binds it inside the closure.
+func parameter() {
+	r := rand.New(rand.NewSource(3))
+	go func(own *rand.Rand) {
+		_ = own.Intn(5)
+	}(r)
+}
+
+// Suppressible with a reason, like any other finding.
+func sanctioned() {
+	_ = rand.Intn(10) //politevet:allow globalrand(fixture exercising a sanctioned draw)
+}

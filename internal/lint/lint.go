@@ -1,0 +1,144 @@
+// Package lint is politevet's driver: it runs the five politewifi
+// invariant analyzers over type-checked packages, applies
+// //politevet:allow suppression, and validates the directives
+// themselves. The analyzers mechanically enforce what the simulator's
+// bit-identical-census guarantee rests on — no wall clock, no global
+// RNG, no unsorted map iteration into emit paths, no unguarded
+// duration narrowing, no hot-spin polling — so the invariants live in
+// CI instead of in reviewers' heads. See DESIGN.md §5e.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"politewifi/internal/lint/analysis"
+	"politewifi/internal/lint/durwrap"
+	"politewifi/internal/lint/globalrand"
+	"politewifi/internal/lint/load"
+	"politewifi/internal/lint/simsleep"
+	"politewifi/internal/lint/sortedrange"
+	"politewifi/internal/lint/wallclock"
+)
+
+// DirectiveChecker is the name under which malformed or unknown
+// //politevet:allow directives are reported. Directive findings are
+// never suppressible: an escape hatch that can silence the check on
+// its own grammar is no escape hatch at all.
+const DirectiveChecker = "directive"
+
+// Analyzers returns the politevet analyzer set in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		durwrap.Analyzer,
+		globalrand.Analyzer,
+		simsleep.Analyzer,
+		sortedrange.Analyzer,
+		wallclock.Analyzer,
+	}
+}
+
+// Finding is one surfaced diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// RunPackage applies the analyzers to one package, filters findings
+// through valid //politevet:allow directives, and appends directive
+// grammar violations. Findings come back sorted by position.
+func RunPackage(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	supp := analysis.NewSuppressor(pkg.Fset, pkg.Files)
+	// Directives may name any registered analyzer, including ones the
+	// caller disabled for this run.
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			if supp.Suppressed(name, d.Pos) {
+				return
+			}
+			findings = append(findings, Finding{
+				Analyzer: name,
+				Pos:      pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+		}
+	}
+
+	for _, f := range pkg.Files {
+		for _, d := range analysis.ParseDirectives(f) {
+			switch {
+			case d.Malformed != "":
+				findings = append(findings, Finding{
+					Analyzer: DirectiveChecker,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Malformed,
+				})
+			case !known[d.Analyzer]:
+				findings = append(findings, Finding{
+					Analyzer: DirectiveChecker,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  fmt.Sprintf("directive names unknown analyzer %q", d.Analyzer),
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// Run loads the packages matching patterns (tests included) and runs
+// the full analyzer set over each.
+func Run(dir string, patterns ...string) ([]Finding, error) {
+	pkgs, err := load.Packages(dir, true, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(pkg, Analyzers())
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	return all, nil
+}

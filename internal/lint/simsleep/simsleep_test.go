@@ -1,0 +1,12 @@
+package simsleep_test
+
+import (
+	"testing"
+
+	"politewifi/internal/lint/analysistest"
+	"politewifi/internal/lint/simsleep"
+)
+
+func TestSimsleep(t *testing.T) {
+	analysistest.Run(t, simsleep.Analyzer, "a")
+}

@@ -1,0 +1,106 @@
+// Package a is a simsleep fixture: busy-wait loops that spin at one
+// simulated instant versus loops that drive or wait on the scheduler.
+package a
+
+// Sched mirrors the shape of eventsim.Scheduler for the fixture.
+type Sched struct{ busy bool }
+
+func (s *Sched) Busy() bool     { return s.busy }
+func (s *Sched) Done() bool     { return !s.busy }
+func (s *Sched) Step() bool     { return s.busy }
+func (s *Sched) Park()          {}
+func (s *Sched) Poke()          {}
+func (s *Sched) simSleep(int64) {}
+
+// spinsOnCond re-checks the predicate forever: nothing in the (empty)
+// body can advance simulated time.
+func spinsOnCond(s *Sched) {
+	for s.Busy() { // want "for-loop polls s.Busy\\(\\) without yielding"
+	}
+}
+
+// spinsOnBreakGuard hides the poll in a break guard; the counter
+// increment does not feed the (absent) for-condition, so the loop
+// still spins if Done never flips.
+func spinsOnBreakGuard(s *Sched) int {
+	n := 0
+	for { // want "for-loop polls s.Done\\(\\) without yielding"
+		if s.Done() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// parksEachIteration yields: Park is a call in the body, so the
+// scheduler can run events between polls.
+func parksEachIteration(s *Sched) {
+	for s.Busy() {
+		s.Park()
+	}
+}
+
+// sleepsEachIteration waits on sim time via the simSleep-style call.
+func sleepsEachIteration(s *Sched) {
+	for !s.Done() {
+		s.simSleep(1000)
+	}
+}
+
+// driveLoop pumps the event queue from the condition itself —
+// ProbeSync's shape. Step is yield-named, so this is a drive loop.
+func driveLoop(s *Sched) {
+	for s.Step() {
+	}
+}
+
+// breakGuardDrive is the same drive loop with Step inside the guard.
+func breakGuardDrive(s *Sched) {
+	for {
+		if !s.Step() {
+			break
+		}
+	}
+}
+
+// countedLoop advances its own condition; it terminates by
+// construction regardless of what it polls.
+func countedLoop(s *Sched) int {
+	hits := 0
+	for i := 0; i < 16; i++ {
+		if s.Busy() {
+			hits++
+		}
+	}
+	return hits
+}
+
+// waitsOnChannel blocks on a receive; the runtime can switch away.
+func waitsOnChannel(s *Sched, ch chan struct{}) {
+	for s.Busy() {
+		<-ch
+	}
+}
+
+// selectsOnChannels blocks in a select.
+func selectsOnChannels(s *Sched, ch chan struct{}) {
+	for s.Busy() {
+		select {
+		case <-ch:
+		}
+	}
+}
+
+// noPoll has no call in any condition; plain control flow is out of
+// scope even when the body is empty.
+func noPoll(flag *bool) {
+	for *flag {
+	}
+}
+
+// sanctioned carries a reasoned directive.
+func sanctioned(s *Sched) {
+	for s.Busy() { //politevet:allow simsleep(fixture for a sanctioned spin on hardware state)
+	}
+}

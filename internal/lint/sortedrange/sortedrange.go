@@ -1,0 +1,114 @@
+// Package sortedrange forbids emitting output from inside a
+// range-over-map loop. Go randomizes map iteration order, so a loop
+// that prints, encodes, or writes rows as it ranges produces a
+// different census, report, or CSV on every run — the exact bug
+// class the stop-index-ordered merge in internal/telemetry exists to
+// prevent. The sanctioned shape is collect → sort → emit (see
+// telemetry.Registry.Snapshot or experiments.topVendors): a map range
+// that only accumulates into a slice or another map is fine.
+package sortedrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"politewifi/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "sortedrange",
+	Doc: "forbid range-over-map loops whose body writes to an emit path (fmt.Fprint*, csv/json encoders, " +
+		"string builders); collect rows, sort by key, then emit",
+	Run: run,
+}
+
+// pkgSinks are package-level emit functions.
+var pkgSinks = map[string]map[string]bool{
+	"fmt": {"Fprint": true, "Fprintf": true, "Fprintln": true,
+		"Print": true, "Printf": true, "Println": true},
+	"io": {"WriteString": true},
+}
+
+// methodSinks are emit methods on well-known writer types, keyed by
+// "pkgpath.Type".
+var methodSinks = map[string]map[string]bool{
+	"encoding/csv.Writer":   {"Write": true, "WriteAll": true},
+	"encoding/json.Encoder": {"Encode": true},
+	"text/tabwriter.Writer": {"Write": true},
+	"strings.Builder":       writerMethods(),
+	"bytes.Buffer":          writerMethods(),
+	"bufio.Writer":          writerMethods(),
+	"os.File":               {"Write": true, "WriteString": true},
+}
+
+func writerMethods() map[string]bool {
+	return map[string]bool{
+		"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		rs := n.(*ast.RangeStmt)
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return
+		}
+		if sink := firstSink(pass, rs.Body); sink != nil {
+			pass.Reportf(rs.Pos(),
+				"range over map %s emits inside the loop (%s), so output order follows the randomized map iteration; collect rows, sort by key, then emit (the telemetry.Report pattern), or carry a //politevet:allow sortedrange(reason) directive",
+				types.ExprString(rs.X), sinkName(pass, sink))
+		}
+	})
+	return nil
+}
+
+// firstSink returns the first emit call in body, or nil.
+func firstSink(pass *analysis.Pass, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isSink(pass, call) {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isSink(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	for path, names := range pkgSinks {
+		if name, ok := pass.PkgLevelRef(sel, path); ok && names[name] {
+			return true
+		}
+	}
+	if named := pass.ReceiverNamed(call); named != nil && named.Obj().Pkg() != nil {
+		key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		if names, ok := methodSinks[key]; ok && names[sel.Sel.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+func sinkName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel)
+	}
+	return types.ExprString(call.Fun)
+}

@@ -1,0 +1,12 @@
+package sortedrange_test
+
+import (
+	"testing"
+
+	"politewifi/internal/lint/analysistest"
+	"politewifi/internal/lint/sortedrange"
+)
+
+func TestSortedrange(t *testing.T) {
+	analysistest.Run(t, sortedrange.Analyzer, "a")
+}

@@ -1,0 +1,66 @@
+// Package a is a sortedrange fixture: emitting from inside a
+// range-over-map loop versus the sanctioned collect → sort → emit.
+package a
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func printsDirectly(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "range over map m emits inside the loop \\(fmt.Fprintf\\)"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func buildsDirectly(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want "range over map m emits inside the loop \\(b.WriteString\\)"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func csvDirectly(w *csv.Writer, m map[string]string) {
+	for k, v := range m { // want "range over map m emits inside the loop \\(w.Write\\)"
+		_ = w.Write([]string{k, v})
+	}
+}
+
+func jsonDirectly(enc *json.Encoder, m map[string]int) {
+	for _, v := range m { // want "range over map m emits inside the loop \\(enc.Encode\\)"
+		_ = enc.Encode(v)
+	}
+}
+
+// The sanctioned shape: collect into a slice, sort, then emit.
+func collectSortEmit(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Pure aggregation inside a map range is order-insensitive and fine.
+func aggregates(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Suppressible where emit order genuinely does not matter.
+func sanctioned(w io.Writer, m map[string]bool) {
+	for k := range m { //politevet:allow sortedrange(fixture for a sanctioned debug dump)
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,152 @@
+// Package unit implements the `go vet -vettool` wire protocol for
+// politevet, standing in for golang.org/x/tools' unitchecker (this
+// repository vendors nothing). The go command drives a vettool like
+// so:
+//
+//  1. `tool -V=full` — print an identifying line used as a cache key;
+//  2. `tool -flags` — print a JSON description of supported flags;
+//  3. `tool <dir>/vet.cfg` — analyze one package unit described by a
+//     JSON config: source files, the import map, and compiled export
+//     data for every dependency.
+//
+// Diagnostics go to stderr as file:line:col lines; a non-zero exit
+// tells go vet the package failed. Dependency units arrive with
+// VetxOnly set — the go command only wants cross-package facts for
+// those — and since politevet's analyzers are all single-package, the
+// tool just writes an empty facts file and returns, which keeps a
+// whole-repo `go vet -vettool=politevet ./...` fast.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"politewifi/internal/lint"
+	"politewifi/internal/lint/load"
+)
+
+// Config mirrors the fields of the go command's vet.cfg that
+// politevet consumes.
+type Config struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	NonGoFiles  []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements the -V=full handshake. The line must start
+// with the program name and "version"; the executable digest makes
+// the go command's action cache key change when the tool changes.
+func PrintVersion(w io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s version devel buildID=%02x\n", filepath.Base(exe), h.Sum(nil))
+	return err
+}
+
+// PrintFlags implements the -flags handshake: a JSON array naming the
+// flags the go command may forward to the tool.
+func PrintFlags(w io.Writer) error {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var flags []jsonFlag
+	for _, a := range lint.Analyzers() {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	out, err := json.Marshal(flags)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(out))
+	return err
+}
+
+// RunConfig analyzes the unit described by the vet.cfg at path and
+// writes findings to w. It returns the number of findings; the caller
+// turns a non-zero count into exit status 2, matching unitchecker.
+func RunConfig(path string, enabled map[string]bool, w io.Writer) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", path, err)
+	}
+
+	// The go command requires the facts file to exist even when the
+	// unit produced none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	pkg, err := load.Check(load.Unit{
+		ImportPath:  cfg.ImportPath,
+		Dir:         cfg.Dir,
+		GoFiles:     cfg.GoFiles,
+		ImportMap:   cfg.ImportMap,
+		PackageFile: cfg.PackageFile,
+		GoVersion:   cfg.GoVersion,
+	})
+	if err != nil || len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		if err == nil {
+			err = pkg.TypeErrors[0]
+		}
+		return 0, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	analyzers := lint.Analyzers()
+	if enabled != nil {
+		kept := analyzers[:0:0]
+		for _, a := range analyzers {
+			if enabled[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+
+	findings, err := lint.RunPackage(pkg, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+	return len(findings), nil
+}

@@ -1,0 +1,47 @@
+// Package a is a wallclock fixture: simulation-side code reaching
+// for the wall clock.
+package a
+
+import "time"
+
+func readsClock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func measures(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func waits() <-chan time.Time {
+	return time.After(time.Second) // want "time.After reads the wall clock"
+}
+
+func ticks() *time.Ticker {
+	return time.NewTicker(time.Second) // want "time.NewTicker reads the wall clock"
+}
+
+// Pure value construction and arithmetic never read a clock.
+func pureValues() time.Duration {
+	t := time.Unix(0, 0)
+	_ = t.Add(3 * time.Second)
+	return 5 * time.Microsecond
+}
+
+// A reasoned directive suppresses the finding.
+func sanctioned() time.Time {
+	return time.Now() //politevet:allow wallclock(fixture exercising sanctioned profiling)
+}
+
+// An unreasoned directive suppresses nothing and is itself a finding.
+func unreasoned() time.Time {
+	return time.Now() //politevet:allow wallclock() // want "time.Now reads the wall clock" "directive reason must not be empty"
+}
+
+// A directive naming an unknown analyzer is a finding too.
+func unknownAnalyzer() time.Time {
+	return time.Now() //politevet:allow wallcheck(typo in the analyzer name) // want "time.Now reads the wall clock" "unknown analyzer \"wallcheck\""
+}

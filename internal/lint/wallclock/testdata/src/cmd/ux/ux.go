@@ -1,0 +1,14 @@
+// Package ux sits on a /cmd/ import path: command-line UX may report
+// wall time to humans, so the wallclock analyzer exempts it
+// wholesale. No finding expected anywhere in this file.
+package ux
+
+import (
+	"fmt"
+	"time"
+)
+
+func Timer() func() {
+	start := time.Now()
+	return func() { fmt.Println(time.Since(start)) }
+}

@@ -1,0 +1,60 @@
+// Package wallclock forbids reading the wall clock from simulation
+// code. Every timestamp in the simulator must come from the
+// eventsim.Scheduler virtual clock: a single time.Now in a hot path
+// stamps telemetry or ordering decisions with host time, and the
+// bit-identical census guarantee (DESIGN.md §5c) dies silently.
+package wallclock
+
+import (
+	"go/ast"
+	"strings"
+
+	"politewifi/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Since/Sleep/After and friends outside cmd/ UX paths; " +
+		"simulation code must use the eventsim.Scheduler virtual clock",
+	Run: run,
+}
+
+// forbidden lists the package time functions that observe or wait on
+// the wall clock. Pure-value helpers (time.Duration arithmetic,
+// time.Unix construction, parsing) are fine: they do not read a
+// clock.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// allowlisted reports whether the package is exempt wholesale:
+// command-line UX (progress meters, run timers) legitimately reports
+// wall time to a human.
+func allowlisted(path string) bool {
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}
+
+func run(pass *analysis.Pass) error {
+	if allowlisted(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		name, ok := pass.PkgLevelRef(sel, "time")
+		if ok && forbidden[name] {
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; simulation code must use the eventsim.Scheduler virtual clock (Now/After/Every), or carry a //politevet:allow wallclock(reason) directive",
+				name)
+		}
+	})
+	return nil
+}

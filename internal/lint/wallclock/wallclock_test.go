@@ -1,0 +1,16 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"politewifi/internal/lint/analysistest"
+	"politewifi/internal/lint/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "a")
+}
+
+func TestWallclockAllowsCmdPaths(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "cmd/ux")
+}

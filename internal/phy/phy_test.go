@@ -115,7 +115,7 @@ func TestNAV(t *testing.T) {
 	}
 	// RTS NAV covers CTS + data + ACK + 3 SIFS.
 	nav := RTSNAV(Band2GHz, Rate24, 1500)
-	want := uint16((3*10*eventsim.Microsecond + 28*eventsim.Microsecond + Airtime(Rate24, 1500) + 28*eventsim.Microsecond) / eventsim.Microsecond)
+	want := uint16((3*10*eventsim.Microsecond + 28*eventsim.Microsecond + Airtime(Rate24, 1500) + 28*eventsim.Microsecond) / eventsim.Microsecond) //politevet:allow durwrap(expected-value fixture; every term is a small positive airtime, sum ≪ 65535µs)
 	if nav != want {
 		t.Fatalf("RTSNAV = %d, want %d", nav, want)
 	}

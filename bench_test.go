@@ -7,6 +7,7 @@
 package politewifi_test
 
 import (
+	"io"
 	"testing"
 
 	"politewifi/internal/core"
@@ -19,6 +20,7 @@ import (
 	"politewifi/internal/power"
 	"politewifi/internal/radio"
 	"politewifi/internal/telemetry"
+	"politewifi/internal/telemetry/stream"
 	"politewifi/internal/world"
 )
 
@@ -427,29 +429,36 @@ func BenchmarkCSIPipeline(b *testing.B) {
 // --- Telemetry overhead -------------------------------------------------
 
 // BenchmarkTelemetryOverhead runs the full wardrive pipeline with the
-// metrics registry detached ("off") and attached ("on"). The delta is
-// the end-to-end cost of the instrumentation — counters, gauges,
-// per-origin scheduler accounting — which the design targets at <5%.
+// metrics registry detached ("off"), attached ("on"), and attached
+// with the flight-recorder stream emitting per-stop NDJSON records
+// ("stream"). The deltas are the end-to-end cost of instrumentation —
+// counters, gauges, per-origin scheduler accounting — and of the
+// per-stop snapshot+marshal the stream adds, both targeted at <5%.
 func BenchmarkTelemetryOverhead(b *testing.B) {
-	for _, instrumented := range []bool{false, true} {
-		name := "off"
-		if instrumented {
-			name = "on"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, mode := range []string{"off", "on", "stream"} {
+		b.Run(mode, func(b *testing.B) {
 			var verified float64
 			for i := 0; i < b.N; i++ {
 				cfg := world.DefaultConfig()
 				cfg.Seed = benchSeed + int64(i)
 				cfg.Scale = 0.01
-				if instrumented {
+				if mode != "off" {
 					cfg.Metrics = telemetry.NewRegistry(nil)
+				}
+				if mode == "stream" {
+					cfg.Stream = stream.NewWriter(io.Discard)
 				}
 				r := experiments.Table2WithConfig(cfg)
 				verified = float64(r.Run.TotalResponded())
-				if instrumented {
+				if mode != "off" {
 					if c := cfg.Metrics.Snapshot().Counter("pipeline.devices_discovered"); c == nil || c.Value == 0 {
 						b.Fatal("instrumented run recorded no discoveries")
+					}
+				}
+				if mode == "stream" {
+					if cfg.Stream.Count() != r.Run.Stops || cfg.Stream.Err() != nil {
+						b.Fatalf("stream wrote %d/%d records (err %v)",
+							cfg.Stream.Count(), r.Run.Stops, cfg.Stream.Err())
 					}
 				}
 			}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"politewifi/internal/eventsim"
 	"politewifi/internal/experiments"
@@ -35,6 +36,7 @@ func main() {
 	out := flag.String("out", "", "directory for CSV/pcap artifacts")
 	only := flag.String("only", "", "run a single experiment by name")
 	lossSweep := flag.Bool("losssweep", false, "include the wardrive loss sweep (one drive per loss rate)")
+	progress := flag.Bool("progress", false, "render a live wardrive progress meter on stderr")
 	flag.Parse()
 
 	if *quick {
@@ -83,6 +85,9 @@ func main() {
 		cfg.Seed = *seed
 		cfg.Scale = *scale
 		cfg.Workers = *workers
+		if *progress {
+			cfg.Progress = world.NewProgressPrinter(os.Stderr, time.Now)
+		}
 		fmt.Print(experiments.Table2WithConfig(cfg).Render())
 	})
 	run("figure5", func() {

@@ -12,14 +12,23 @@
 //	politewifi deauth  [-pmf]                forged-deauth attack vs 802.11w
 //	politewifi locate  [-dist M] [-n N]      time-of-flight ranging via ACKs
 //	politewifi stats   [-n N]                run the lab scenario, print telemetry
-//	politewifi wardrive [-scale F] [-workers N] [-faults SPEC]  the §3 city-wide census (Table 2)
+//	politewifi wardrive [-scale F] [-workers N] [-faults SPEC] [-stream FILE] [-progress]  the §3 city-wide census (Table 2)
 //	politewifi losssweep [-scale F] [-workers N]  census accuracy vs channel loss rate
+//	politewifi tail    [-fold FILE] STREAM       render a flight-recorder stream ("-" = stdin)
 //
 // wardrive shards the drive's RF-independent stops over -workers
 // goroutines (default: all cores); the census is bit-identical for
 // every worker count. -faults injects deterministic channel
 // impairments (e.g. "loss=0.3,ack=0.1,jam=0.2,deaf=0.1"; see
 // internal/faults); losssweep repeats the drive across loss rates.
+//
+// wardrive's -stream FILE writes the flight recorder: one NDJSON
+// record per completed stop, in stop order, byte-identical at every
+// worker count ("-" streams to stdout with the human output moved to
+// stderr). -progress renders a live meter on stderr. tail consumes a
+// stream — a finished file or a live pipe — and renders it as a
+// table; -fold FILE additionally folds the per-stop telemetry deltas
+// back into a full report and writes it as JSON.
 //
 // The probe, scan, drain and stats subcommands accept -metrics FILE
 // (write a telemetry report as JSON) and -trace FILE (write a
@@ -33,7 +42,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"politewifi/internal/core"
 	"politewifi/internal/csi"
@@ -46,12 +57,13 @@ import (
 	"politewifi/internal/power"
 	"politewifi/internal/radio"
 	"politewifi/internal/telemetry"
+	"politewifi/internal/telemetry/stream"
 	"politewifi/internal/trace"
 	"politewifi/internal/world"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: politewifi <probe|scan|drain|sense|sifs|jam|deauth|locate|stats|wardrive|losssweep> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: politewifi <probe|scan|drain|sense|sifs|jam|deauth|locate|stats|wardrive|losssweep|tail> [flags]")
 	os.Exit(2)
 }
 
@@ -199,6 +211,8 @@ func main() {
 		cmdWardrive(args)
 	case "losssweep":
 		cmdLossSweep(args)
+	case "tail":
+		cmdTail(args)
 	default:
 		usage()
 	}
@@ -214,6 +228,8 @@ func cmdWardrive(args []string) {
 	dwellMS := fs.Int("dwell", 1200, "per-channel dwell per stop, ms")
 	workers := fs.Int("workers", 0, "worker goroutines simulating stops (0 = all cores)")
 	faultSpec := fs.String("faults", "", "channel fault `spec`, e.g. loss=0.3,ack=0.1,jam=0.2,deaf=0.1")
+	streamPath := fs.String("stream", "", "stream per-stop flight-recorder records (NDJSON) to `file` (\"-\" = stdout)")
+	progress := fs.Bool("progress", false, "render a live progress meter on stderr")
 	tf := &telemetryFlags{}
 	tf.register(fs)
 	fs.Parse(args)
@@ -232,16 +248,154 @@ func cmdWardrive(args []string) {
 		}
 		cfg.Faults = &fc
 	}
-	if tf.metricsPath != "" {
+	if tf.metricsPath != "" || *streamPath != "" {
 		// Every stop owns a private scheduler; the merged registry
-		// carries drive-wide totals, so no single clock applies.
+		// carries drive-wide totals, so no single clock applies. The
+		// stream carries per-stop deltas of the same registry, so
+		// -stream implies metrics collection.
 		tf.reg = telemetry.NewRegistry(nil)
 		cfg.Metrics = tf.reg
 	}
+	if tf.tracePath != "" {
+		// Per-stop tracers merge in stop order with exchange/flow IDs
+		// rebased, so the drive-wide trace is worker-count stable.
+		tf.tracer = telemetry.NewTracer()
+		cfg.Trace = tf.tracer
+	}
+	var streamFile *os.File
+	if *streamPath != "" {
+		if *streamPath == "-" {
+			cfg.Stream = stream.NewWriter(os.Stdout)
+		} else {
+			f, err := os.Create(*streamPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "politewifi:", err)
+				os.Exit(1)
+			}
+			streamFile = f
+			cfg.Stream = stream.NewWriter(f)
+		}
+	}
+	if *progress {
+		cfg.Progress = world.NewProgressPrinter(os.Stderr, time.Now)
+	}
 
 	r := experiments.Table2WithConfig(cfg)
-	fmt.Print(r.Render())
+	if *streamPath == "-" {
+		// NDJSON owns stdout; the human-readable census moves aside.
+		fmt.Fprint(os.Stderr, r.Render())
+	} else {
+		fmt.Print(r.Render())
+	}
+	if cfg.Stream != nil {
+		if err := cfg.Stream.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi: stream:", err)
+		}
+		if streamFile != nil {
+			if err := streamFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "politewifi:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nstreamed %d flight-recorder records to %s\n", cfg.Stream.Count(), *streamPath)
+		}
+	}
 	tf.flush()
+}
+
+// cmdTail consumes a flight-recorder stream — a finished file or a
+// live pipe ("-" = stdin) — and renders each record as a table row
+// the moment its line arrives, then prints the drive summary. -fold
+// additionally rebuilds the full telemetry report from the per-stop
+// deltas and writes it as JSON; by the stream's fold-equals-snapshot
+// guarantee it matches the producer's -metrics report byte for byte.
+func cmdTail(args []string) {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	foldPath := fs.String("fold", "", "fold per-stop telemetry deltas into a full report (JSON) at `file`")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: politewifi tail [-fold FILE] STREAM   (STREAM may be \"-\" for stdin)")
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if name := fs.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var folded *telemetry.Registry
+	fmt.Printf("%5s  %10s  %8s %5s  %10s %10s %7s %7s\n",
+		"stop", "sim", "devices", "new", "responded", "silent", "incon", "resp%")
+	d := stream.NewDecoder(in)
+	records, lastTotals, lastStops := 0, stream.Census{}, 0
+	var simTotal eventsim.Time
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi: tail:", err)
+			os.Exit(1)
+		}
+		records++
+		lastTotals, lastStops = rec.Totals, rec.Stops
+		simTotal += eventsim.Time(rec.SimEndNS - rec.SimStartNS)
+		responded := rec.Totals.ClientsResponded + rec.Totals.APsResponded
+		pct := 0.0
+		if rec.Totals.Devices() > 0 {
+			pct = 100 * float64(responded) / float64(rec.Totals.Devices())
+		}
+		fmt.Printf("%5d  %10s  %8d %+5d  %10d %10d %7d %6.1f%%\n",
+			rec.Stop+1, eventsim.Time(rec.SimEndNS-rec.SimStartNS),
+			rec.Totals.Devices(), rec.Census.Devices(),
+			responded, rec.Totals.Silent, rec.Totals.Inconclusive, pct)
+		if *foldPath != "" && rec.Telemetry != nil {
+			shard, err := telemetry.RestoreRegistry(*rec.Telemetry)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "politewifi: tail: stop %d: %v\n", rec.Stop, err)
+				os.Exit(1)
+			}
+			if folded == nil {
+				folded = telemetry.NewRegistry(nil)
+			}
+			folded.MergeFrom(shard)
+		}
+	}
+
+	fmt.Printf("\n%d/%d stops: %d devices (%d clients, %d APs), %d responded, %d silent, %d inconclusive; %s simulated\n",
+		records, lastStops, lastTotals.Devices(), lastTotals.Clients, lastTotals.APs,
+		lastTotals.ClientsResponded+lastTotals.APsResponded,
+		lastTotals.Silent, lastTotals.Inconclusive, simTotal)
+	if records < lastStops {
+		fmt.Printf("stream ended early (%d of %d stops); partial census above\n", records, lastStops)
+	}
+
+	if *foldPath != "" {
+		if folded == nil {
+			fmt.Fprintln(os.Stderr, "politewifi: tail: stream carried no telemetry deltas to fold")
+			os.Exit(1)
+		}
+		f, err := os.Create(*foldPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi:", err)
+			os.Exit(1)
+		}
+		rep := folded.Snapshot()
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("folded %d per-stop deltas into %s (%d counters)\n", records, *foldPath, len(rep.Counters))
+	}
 }
 
 // cmdLossSweep repeats the wardrive across channel loss rates and

@@ -5,26 +5,38 @@
 //
 // Usage:
 //
-//	wardrive [-seed N] [-scale F] [-stop-size N] [-dwell MS] [-workers N] [-metrics FILE] [-faults SPEC]
+//	wardrive [-seed N] [-scale F] [-stop-size N] [-dwell MS] [-workers N]
+//	         [-metrics FILE] [-trace FILE] [-stream FILE] [-progress] [-faults SPEC]
 //
 // Stops are RF-independent neighbourhoods, so the drive shards them
 // across -workers goroutines (default: all cores). The census is
 // bit-identical for every worker count; see DESIGN.md.
 //
+// -stream writes the flight recorder: one NDJSON record per completed
+// stop (census delta + telemetry delta), emitted in stop order while
+// the drive runs. "-" streams to stdout, e.g. for
+// `wardrive -stream - | politewifi tail -`. -progress renders a live
+// one-line meter on stderr. -trace writes the merged Chrome
+// trace_event JSON with per-exchange flow links.
+//
 // -faults injects deterministic channel impairments, e.g.
 // "loss=0.3,ack=0.1,jam=0.2,deaf=0.1" (see internal/faults). The
-// faulted census is still bit-identical across worker counts.
+// faulted census — and its stream — is still bit-identical across
+// worker counts.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"politewifi/internal/eventsim"
 	"politewifi/internal/experiments"
 	"politewifi/internal/faults"
 	"politewifi/internal/telemetry"
+	"politewifi/internal/telemetry/stream"
 	"politewifi/internal/world"
 )
 
@@ -35,6 +47,9 @@ func main() {
 	dwellMS := flag.Int("dwell", 1200, "per-channel dwell per stop, ms")
 	workers := flag.Int("workers", 0, "worker goroutines simulating stops (0 = all cores)")
 	metricsPath := flag.String("metrics", "", "write a telemetry report (JSON) to `file`")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON with exchange flows to `file`")
+	streamPath := flag.String("stream", "", "stream per-stop flight-recorder records (NDJSON) to `file` (\"-\" = stdout)")
+	progress := flag.Bool("progress", false, "render a live progress meter on stderr")
 	faultSpec := flag.String("faults", "", "channel fault `spec`, e.g. loss=0.3,ack=0.1,jam=0.2,deaf=0.1")
 	flag.Parse()
 
@@ -54,25 +69,70 @@ func main() {
 	}
 
 	var reg *telemetry.Registry
-	if *metricsPath != "" {
+	if *metricsPath != "" || *streamPath != "" {
 		// Each stop runs its own scheduler, so the registry accumulates
-		// drive-wide totals with no meaningful sim-time axis.
+		// drive-wide totals with no meaningful sim-time axis. The stream
+		// needs per-stop deltas, so it implies metrics too.
 		reg = telemetry.NewRegistry(nil)
 		cfg.Metrics = reg
 	}
+	if *tracePath != "" {
+		cfg.Trace = telemetry.NewTracer()
+	}
+	var streamFile *os.File
+	if *streamPath != "" {
+		if *streamPath == "-" {
+			cfg.Stream = stream.NewWriter(os.Stdout)
+		} else {
+			f, err := os.Create(*streamPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wardrive:", err)
+				os.Exit(1)
+			}
+			streamFile = f
+			cfg.Stream = stream.NewWriter(f)
+		}
+	}
+	if *progress {
+		cfg.Progress = world.NewProgressPrinter(os.Stderr, time.Now)
+	}
 
+	// When the stream rides stdout, the human-readable output moves to
+	// stderr so the NDJSON stays machine-clean.
+	out := io.Writer(os.Stdout)
+	if *streamPath == "-" {
+		out = os.Stderr
+	}
 	if cfg.Faults != nil {
-		fmt.Printf("wardriving: scale %.2f, %d households/stop, %d ms/channel dwell, faults %s\n\n",
+		fmt.Fprintf(out, "wardriving: scale %.2f, %d households/stop, %d ms/channel dwell, faults %s\n\n",
 			cfg.Scale, cfg.HouseholdsPerStop, *dwellMS, *faultSpec)
 	} else {
-		fmt.Printf("wardriving: scale %.2f, %d households/stop, %d ms/channel dwell\n\n",
+		fmt.Fprintf(out, "wardriving: scale %.2f, %d households/stop, %d ms/channel dwell\n\n",
 			cfg.Scale, cfg.HouseholdsPerStop, *dwellMS)
 	}
 
 	r := experiments.Table2WithConfig(cfg)
-	fmt.Print(r.Render())
+	fmt.Fprint(out, r.Render())
 
-	if reg != nil {
+	if cfg.Stream != nil {
+		if err := cfg.Stream.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "wardrive: stream:", err)
+		} else {
+			fmt.Fprintf(out, "\nstreamed %d flight-recorder records", cfg.Stream.Count())
+			if streamFile != nil {
+				fmt.Fprintf(out, " to %s", *streamPath)
+			}
+			fmt.Fprintln(out)
+		}
+		if streamFile != nil {
+			if err := streamFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "wardrive:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *metricsPath != "" && reg != nil {
 		f, err := os.Create(*metricsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wardrive:", err)
@@ -86,6 +146,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "wardrive:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nwrote telemetry report (%d counters) to %s\n", len(rep.Counters), *metricsPath)
+		fmt.Fprintf(out, "\nwrote telemetry report (%d counters) to %s\n", len(rep.Counters), *metricsPath)
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wardrive:", err)
+			os.Exit(1)
+		}
+		if err := cfg.Trace.WriteChromeJSON(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wardrive:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "wrote %d trace spans (%d exchanges) to %s\n",
+			cfg.Trace.Len(), len(cfg.Trace.ExchangeLatencies()), *tracePath)
 	}
 }

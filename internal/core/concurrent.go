@@ -444,10 +444,19 @@ func (s *ConcurrentScanner) verifierWorker(wg *sync.WaitGroup, done <-chan struc
 	sawCorrupt := false
 	var target dot11.MAC
 	var armedAt eventsim.Time
+	// firstArmed pins each target's earliest probe so an acked
+	// resolution can report the full exchange latency, retries
+	// included — same semantics as the cooperative scanner.
+	firstArmed := make(map[dot11.MAC]eventsim.Time)
+	answered := make(map[dot11.MAC]bool)
 	resolve := func(acked bool, at eventsim.Time) {
 		open = false
 		if acked {
 			s.metrics.VerdictAck.Inc()
+			if !answered[target] {
+				answered[target] = true
+				s.metrics.ExchangeLatencyUS.ObserveTime(at - firstArmed[target])
+			}
 		} else {
 			s.metrics.VerdictTimeout.Inc()
 		}
@@ -469,6 +478,9 @@ func (s *ConcurrentScanner) verifierWorker(wg *sync.WaitGroup, done <-chan struc
 				sawCorrupt = false
 				target = ev.target
 				armedAt = ev.at
+				if _, ok := firstArmed[target]; !ok {
+					firstArmed[target] = ev.at
+				}
 			case evAck:
 				if open {
 					resolve(true, ev.at)

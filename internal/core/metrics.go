@@ -17,6 +17,10 @@ type PipelineMetrics struct {
 	// VerdictLatencyUS is the sim-time distribution from probe
 	// injection to the verifier's decision.
 	VerdictLatencyUS *telemetry.Histogram
+	// ExchangeLatencyUS is the end-to-end latency of each verified
+	// probe exchange: a target's first probe out to the first
+	// SIFS-attributed response back, retries included.
+	ExchangeLatencyUS *telemetry.Histogram
 
 	// Channel queue depths (ConcurrentScanner only): set at each send,
 	// so Max is the depth high-water mark.
@@ -48,6 +52,8 @@ func NewPipelineMetrics(reg *telemetry.Registry) PipelineMetrics {
 		VerdictTimeout: reg.Counter("pipeline.verdicts.timeout", "probes whose attribution window closed unanswered"),
 		VerdictLatencyUS: reg.Histogram("pipeline.verdict_latency_us",
 			"sim time from probe to verdict (µs)", telemetry.TimeBucketsUS),
+		ExchangeLatencyUS: reg.Histogram("pipeline.exchange_latency_us",
+			"sim time from a target's first probe to its verified response (µs)", telemetry.TimeBucketsUS),
 		FrameChDepth:    reg.Gauge("pipeline.chan.frames", "sniffer→discovery queue depth"),
 		TargetChDepth:   reg.Gauge("pipeline.chan.targets", "discovery→injector queue depth"),
 		EventChDepth:    reg.Gauge("pipeline.chan.events", "sim→verifier queue depth"),

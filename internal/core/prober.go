@@ -85,6 +85,7 @@ type Prober struct {
 	interval    eventsim.Time
 	stopped     bool
 	busyRetries int
+	exchange    uint64 // trace exchange ID for the current run; 0 untraced
 }
 
 // attributionWindow is the slack around the expected SIFS response
@@ -108,6 +109,7 @@ func (p *Prober) Run(target dot11.MAC, n int, interval eventsim.Time, done func(
 	p.onComplete = done
 	p.stopped = false
 	p.busyRetries = 0
+	p.exchange = p.attacker.Radio.Medium().Tracer().NextExchange()
 	p.step()
 }
 
@@ -120,6 +122,7 @@ func (p *Prober) step() {
 		return
 	}
 	p.remaining--
+	p.attacker.Radio.SetNextTxExchange(p.exchange)
 	var end eventsim.Time
 	var err error
 	switch p.mode {
@@ -154,7 +157,7 @@ func (p *Prober) step() {
 			if p.awaiting {
 				p.awaiting = false
 				if tr := p.attacker.Radio.Medium().Tracer(); tr != nil {
-					tr.Instant(p.attacker.Radio.Name, "probe timeout", p.attacker.sched.Now(), 0,
+					tr.Instant(p.attacker.Radio.Name, "probe timeout", p.attacker.sched.Now(), 0, p.exchange,
 						map[string]string{"target": p.res.Target.String()})
 				}
 			}
@@ -215,7 +218,7 @@ func (p *Prober) onFrame(f dot11.Frame, rx radio.Reception) {
 		p.res.FirstGap = gap
 	}
 	if tr := p.attacker.Radio.Medium().Tracer(); tr != nil {
-		tr.Instant(p.attacker.Radio.Name, "probe verified", rx.Start, 0, map[string]string{
+		tr.Instant(p.attacker.Radio.Name, "probe verified", rx.Start, 0, p.exchange, map[string]string{
 			"target": p.res.Target.String(),
 			"gap":    gap.String(),
 		})

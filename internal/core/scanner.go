@@ -47,6 +47,13 @@ type Device struct {
 	// Verdict is the three-state outcome, assigned by the scanner when
 	// probing concludes (VerdictPending until then).
 	Verdict Verdict
+	// ExchangeID is the trace exchange linking this device's probes,
+	// responses, retries and verdict into one causal tree (0 when
+	// tracing is off or the device was never probed).
+	ExchangeID uint64
+	// FirstProbe is when the device's first probe ended (its exchange
+	// began); zero until probed.
+	FirstProbe eventsim.Time
 }
 
 // Scanner implements the paper's §3 wardriving program. The original
@@ -155,7 +162,12 @@ func (s *Scanner) finalizeVerdicts() {
 		return
 	}
 	s.finalized = true
-	for _, d := range s.devices {
+	// Iterate in discovery order, not map order: the verdict instants
+	// recorded here land at one timestamp, and their recording order is
+	// their tie-break order in every rendered trace.
+	tr := s.attacker.Radio.Medium().Tracer()
+	now := s.attacker.sched.Now()
+	for _, d := range s.Devices() {
 		switch {
 		case d.Responded:
 			d.Verdict = VerdictResponded
@@ -165,6 +177,10 @@ func (s *Scanner) finalizeVerdicts() {
 		default:
 			d.Verdict = VerdictInconclusive
 			s.metrics.VerdictInconclusive.Inc()
+		}
+		if d.ExchangeID != 0 {
+			tr.Instant(s.attacker.Radio.Name, "verdict "+d.Verdict.String(), now, 0, d.ExchangeID,
+				map[string]string{"target": d.MAC.String()})
 		}
 	}
 }
@@ -260,9 +276,16 @@ func (s *Scanner) injectorStep() {
 			return // try again next tick
 		}
 		contended := s.attacker.Radio.CCABusy()
+		if d.ExchangeID == 0 {
+			d.ExchangeID = s.attacker.Radio.Medium().Tracer().NextExchange()
+		}
+		s.attacker.Radio.SetNextTxExchange(d.ExchangeID)
 		end, err := s.attacker.InjectNull(mac)
 		if err != nil {
 			return
+		}
+		if d.Probes == 0 {
+			d.FirstProbe = end
 		}
 		d.Probes++
 		s.metrics.ProbesInjected.Inc()
@@ -273,6 +296,7 @@ func (s *Scanner) injectorStep() {
 		s.lastCorrupt = false
 		window := s.attacker.Radio.Band().SIFS() +
 			phy.Airtime(phy.ControlRate(s.attacker.Rate), 14) + attributionWindow
+		ex := d.ExchangeID
 		s.attacker.sched.Schedule(end+window, func() {
 			if s.awaiting {
 				s.awaiting = false
@@ -286,6 +310,8 @@ func (s *Scanner) injectorStep() {
 						td.Contended++
 					}
 				}
+				s.attacker.Radio.Medium().Tracer().Instant(s.attacker.Radio.Name,
+					"probe timeout", s.attacker.sched.Now(), 0, ex, nil)
 			}
 		})
 		return
@@ -310,7 +336,16 @@ func (s *Scanner) verify(f dot11.Frame, rx radio.Reception) {
 	s.metrics.VerdictLatencyUS.ObserveTime(rx.Start - s.lastEnd)
 	if d, ok := s.devices[s.lastTarget]; ok {
 		d.Acks++
-		d.Responded = true
+		if !d.Responded {
+			d.Responded = true
+			// End-to-end exchange latency: first probe out to the first
+			// verified response back.
+			s.metrics.ExchangeLatencyUS.ObserveTime(rx.Start - d.FirstProbe)
+		}
+		s.attacker.Radio.Medium().Tracer().Instant(s.attacker.Radio.Name,
+			"probe verified", rx.Start, 0, d.ExchangeID, map[string]string{
+				"gap": (rx.Start - s.lastEnd).String(),
+			})
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"politewifi/internal/telemetry/stream"
 )
 
 func printsDirectly(w io.Writer, m map[string]int) {
@@ -34,6 +36,26 @@ func csvDirectly(w *csv.Writer, m map[string]string) {
 func jsonDirectly(enc *json.Encoder, m map[string]int) {
 	for _, v := range m { // want "range over map m emits inside the loop \\(enc.Encode\\)"
 		_ = enc.Encode(v)
+	}
+}
+
+// The flight-recorder stream is NDJSON in stop order; writing records
+// straight out of a map range shuffles the stream on every run.
+func streamDirectly(w *stream.Writer, m map[int]stream.Record) {
+	for _, rec := range m { // want "range over map m emits inside the loop \\(w.Write\\)"
+		_ = w.Write(rec)
+	}
+}
+
+// The sanctioned stream shape: order the records by stop index first.
+func streamOrdered(w *stream.Writer, m map[int]stream.Record) {
+	stops := make([]int, 0, len(m))
+	for stop := range m {
+		stops = append(stops, stop)
+	}
+	sort.Ints(stops)
+	for _, stop := range stops {
+		_ = w.Write(m[stop])
 	}
 }
 

@@ -636,7 +636,7 @@ func TestAcksMissedWhenTransmitting(t *testing.T) {
 	if _, err := victim.Radio.Transmit(make([]byte, 500), phy.Rate6); err != nil {
 		t.Fatal(err)
 	}
-	victim.transmitAck(fakeAddr, phy.Rate24, false, dot11.TypeData)
+	victim.transmitAck(fakeAddr, phy.Rate24, false, dot11.TypeData, 0)
 	if victim.Stats.AcksMissed != 1 {
 		t.Fatalf("AcksMissed = %d, want 1", victim.Stats.AcksMissed)
 	}
@@ -645,13 +645,13 @@ func TestAcksMissedWhenTransmitting(t *testing.T) {
 	}
 	// Once idle the same call succeeds.
 	m.Sched.Run()
-	victim.transmitAck(fakeAddr, phy.Rate24, false, dot11.TypeData)
+	victim.transmitAck(fakeAddr, phy.Rate24, false, dot11.TypeData, 0)
 	if victim.Stats.AcksSent != 1 {
 		t.Fatalf("AcksSent = %d after idle, want 1", victim.Stats.AcksSent)
 	}
 	// A zero TA (ACK/CTS responses have none) is a no-op.
 	m.Sched.Run()
-	victim.transmitAck(dot11.ZeroMAC, phy.Rate24, false, dot11.TypeData)
+	victim.transmitAck(dot11.ZeroMAC, phy.Rate24, false, dot11.TypeData, 0)
 	if victim.Stats.AcksSent != 1 {
 		t.Fatal("zero-TA ack should be a no-op")
 	}

@@ -362,7 +362,7 @@ func (s *Station) NAVBusy() bool { return s.sched.Now() < s.navUntil }
 func (s *Station) scheduleAck(f dot11.Frame, rx radio.Reception) {
 	ta := f.TransmitterAddress()
 	solicit := f.Control().Type
-	s.sched.After(s.band.SIFS(), func() { s.transmitAck(ta, rx.Rate, false, solicit) })
+	s.sched.After(s.band.SIFS(), func() { s.transmitAck(ta, rx.Rate, false, solicit, rx.Exchange) })
 }
 
 // scheduleValidatedAck is the §2.2 ablation: decrypt-then-ACK. The
@@ -381,12 +381,12 @@ func (s *Station) scheduleValidatedAck(f dot11.Frame, rx radio.Reception) {
 			valid = s.session.Decrypt(&cp) == nil
 		}
 		if valid {
-			s.transmitAck(ta, rx.Rate, true, f.Control().Type)
+			s.transmitAck(ta, rx.Rate, true, f.Control().Type, rx.Exchange)
 		}
 	})
 }
 
-func (s *Station) transmitAck(ta dot11.MAC, solicitRate phy.Rate, late bool, solicit dot11.FrameType) {
+func (s *Station) transmitAck(ta dot11.MAC, solicitRate phy.Rate, late bool, solicit dot11.FrameType, exchange uint64) {
 	if ta == dot11.ZeroMAC {
 		return
 	}
@@ -400,6 +400,7 @@ func (s *Station) transmitAck(ta dot11.MAC, solicitRate phy.Rate, late bool, sol
 		return
 	}
 	s.Radio.SetNextTxLabel("ACK")
+	s.Radio.SetNextTxExchange(exchange)
 	if _, err := s.Radio.Transmit(wire, phy.ControlRate(solicitRate)); err != nil {
 		s.Stats.AcksMissed++
 		return
@@ -428,6 +429,7 @@ func (s *Station) respondCTS(r *dot11.RTS, rx radio.Reception) {
 			return
 		}
 		s.Radio.SetNextTxLabel("CTS")
+		s.Radio.SetNextTxExchange(rx.Exchange)
 		if _, err := s.Radio.Transmit(wire, ctlRate); err == nil {
 			s.Stats.CTSSent++
 			s.metrics.CTS.Inc()

@@ -97,6 +97,11 @@ type Reception struct {
 	// that fail are still delivered so sniffers can count PHY errors,
 	// but MAC stations must ignore them.
 	FCSOK bool
+	// Exchange is the probe-exchange trace ID the transmitter stamped
+	// on this frame (0 when untraced). Responders propagate it onto
+	// their reply via SetNextTxExchange so probe→response→verdict
+	// renders as one causal tree.
+	Exchange uint64
 }
 
 // Reception Start and End are local arrival times at the receiving
@@ -184,14 +189,15 @@ type chanKey struct {
 }
 
 type transmission struct {
-	source  *Radio
-	data    []byte
-	rate    phy.Rate
-	start   eventsim.Time
-	end     eventsim.Time
-	power   float64
-	traceID uint64 // flow ID linking tx span to rx spans; 0 untraced
-	label   string // semantic frame name set by the MAC/attacker layer
+	source   *Radio
+	data     []byte
+	rate     phy.Rate
+	start    eventsim.Time
+	end      eventsim.Time
+	power    float64
+	traceID  uint64 // flow ID linking tx span to rx spans; 0 untraced
+	exchange uint64 // probe-exchange ID this frame belongs to; 0 unlinked
+	label    string // semantic frame name set by the MAC/attacker layer
 }
 
 // NewMedium creates a medium on the given scheduler.
@@ -290,6 +296,11 @@ type Radio struct {
 	// that knows the frame's meaning.
 	nextTxLabel string
 
+	// nextTxExchange links the next Transmit to a probe exchange;
+	// consumed (or discarded on a busy transmitter) by the next
+	// Transmit call.
+	nextTxExchange uint64
+
 	// Current lock: the transmission the receiver is synchronised to.
 	lockedTo    *transmission
 	lockArrival eventsim.Time
@@ -334,6 +345,16 @@ func (r *Radio) SetHandler(h func(rx Reception)) { r.handler = h }
 func (r *Radio) SetNextTxLabel(label string) {
 	if r.medium.tracer != nil {
 		r.nextTxLabel = label
+	}
+}
+
+// SetNextTxExchange tags the next transmission from this radio with a
+// probe-exchange ID, linking it into that exchange's causal tree in
+// the trace and stamping Reception.Exchange at every receiver. No-op
+// unless a tracer is installed.
+func (r *Radio) SetNextTxExchange(ex uint64) {
+	if r.medium.tracer != nil {
+		r.nextTxExchange = ex
 	}
 }
 
@@ -407,6 +428,11 @@ var ErrTxBusy = fmt.Errorf("radio: transmitter busy")
 func (r *Radio) Transmit(data []byte, rate phy.Rate) (eventsim.Time, error) {
 	m := r.medium
 	now := m.Sched.Now()
+	// Consume the pending exchange tag up front: a busy-transmitter
+	// bounce must not leave a stale tag to leak onto some later,
+	// unrelated frame.
+	exchange := r.nextTxExchange
+	r.nextTxExchange = 0
 	if r.Transmitting() {
 		return 0, ErrTxBusy
 	}
@@ -433,7 +459,8 @@ func (r *Radio) Transmit(data []byte, rate phy.Rate) (eventsim.Time, error) {
 			t.label = "frame"
 		}
 		t.traceID = m.tracer.NextID()
-		m.tracer.Span(r.Name, "tx "+t.label, t.start, t.end, t.traceID, map[string]string{
+		t.exchange = exchange
+		m.tracer.Span(r.Name, "tx "+t.label, t.start, t.end, t.traceID, t.exchange, map[string]string{
 			"bytes": strconv.Itoa(len(t.data)),
 			"rate":  t.rate.String(),
 		})
@@ -551,20 +578,21 @@ func (r *Radio) endReception(t *transmission, rssi float64) {
 	}
 	r.medium.metrics.Deliveries.Inc()
 	if tr := r.medium.tracer; tr != nil {
-		tr.Span(r.Name, "rx "+locked.label, r.lockArrivalFor(locked), r.medium.Sched.Now(), locked.traceID, map[string]string{
+		tr.Span(r.Name, "rx "+locked.label, r.lockArrivalFor(locked), r.medium.Sched.Now(), locked.traceID, locked.exchange, map[string]string{
 			"rssi": strconv.FormatFloat(rssi, 'f', 1, 64),
 			"snr":  strconv.FormatFloat(snr, 'f', 1, 64),
 			"fcs":  strconv.FormatBool(fcsOK),
 		})
 	}
 	r.handler(Reception{
-		Data:    locked.data,
-		Rate:    locked.rate,
-		RSSIDBm: rssi,
-		SNRDB:   snr,
-		Start:   r.lockArrivalFor(locked),
-		End:     r.medium.Sched.Now(),
-		FCSOK:   fcsOK,
+		Data:     locked.data,
+		Rate:     locked.rate,
+		RSSIDBm:  rssi,
+		SNRDB:    snr,
+		Start:    r.lockArrivalFor(locked),
+		End:      r.medium.Sched.Now(),
+		FCSOK:    fcsOK,
+		Exchange: locked.exchange,
 	})
 }
 

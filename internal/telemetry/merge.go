@@ -28,7 +28,9 @@ import (
 // resolved at merge time: their current readings are folded into
 // plain counters/gauges in r, because src — typically a per-shard
 // registry about to be discarded — will not be alive at snapshot
-// time.
+// time. The resolved values are stamped with src's clock, exactly as
+// src.Snapshot() would have stamped them, so a merged registry's
+// report matches the fold of the shards' own reports byte for byte.
 //
 // r and src must not be the same registry. src must be quiescent
 // (its simulation finished); r may be shared, all merges are done
@@ -62,17 +64,19 @@ func (r *Registry) MergeFrom(src *Registry) {
 	for k, v := range src.multiFuncs {
 		mfuncs[k] = v
 	}
+	clock := src.clock
 	src.mu.Unlock()
+	srcNow := clock()
 
 	for name, c := range counters {
 		r.Counter(name, c.help).merge(c.v.Load(), eventsim.Time(c.lastAt.Load()))
 	}
 	for name, cf := range cfuncs {
-		r.Counter(name, cf.help).merge(cf.fn(), 0)
+		r.Counter(name, cf.help).merge(cf.fn(), srcNow)
 	}
 	for prefix, mf := range mfuncs {
 		for suffix, v := range mf.fn() {
-			r.Counter(prefix+"."+suffix, mf.help).merge(v, 0)
+			r.Counter(prefix+"."+suffix, mf.help).merge(v, srcNow)
 		}
 	}
 	for name, g := range gauges {
@@ -83,7 +87,7 @@ func (r *Registry) MergeFrom(src *Registry) {
 	}
 	for name, gf := range gfuncs {
 		v := gf.fn()
-		r.Gauge(name, gf.help).merge(v, v, true, 0)
+		r.Gauge(name, gf.help).merge(v, v, true, srcNow)
 	}
 	for name, h := range hists {
 		h.mu.Lock()

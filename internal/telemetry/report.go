@@ -35,12 +35,16 @@ type CounterSnapshot struct {
 	LastUpdateNS int64  `json:"last_update_ns"`
 }
 
-// GaugeSnapshot is one gauge's state at snapshot time.
+// GaugeSnapshot is one gauge's state at snapshot time. Set records
+// whether the gauge was ever written — a registered-but-untouched
+// gauge reports zero, which restoration (RestoreRegistry) must not
+// mistake for a measured zero.
 type GaugeSnapshot struct {
 	Name         string  `json:"name"`
 	Help         string  `json:"help,omitempty"`
 	Value        float64 `json:"value"`
 	Max          float64 `json:"max"`
+	Set          bool    `json:"set,omitempty"`
 	LastUpdateNS int64   `json:"last_update_ns"`
 }
 
@@ -116,13 +120,14 @@ func (r *Registry) Snapshot() Report {
 	for name, g := range gauges {
 		g.mu.Lock()
 		rep.Gauges = append(rep.Gauges, GaugeSnapshot{
-			Name: name, Help: g.help, Value: g.v, Max: g.max, LastUpdateNS: int64(g.lastAt),
+			Name: name, Help: g.help, Value: g.v, Max: g.max, Set: g.set, LastUpdateNS: int64(g.lastAt),
 		})
 		g.mu.Unlock()
 	}
 	for name, gf := range gfuncs {
+		v := gf.fn()
 		rep.Gauges = append(rep.Gauges, GaugeSnapshot{
-			Name: name, Help: gf.help, Value: gf.fn(), Max: gf.fn(), LastUpdateNS: rep.SimTimeNS,
+			Name: name, Help: gf.help, Value: v, Max: v, Set: true, LastUpdateNS: rep.SimTimeNS,
 		})
 	}
 	for name, h := range hists {

@@ -1,0 +1,151 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"politewifi/internal/telemetry"
+)
+
+func testRecord(stop, stops int, totals Census) Record {
+	delta := Census{Clients: 2, APs: 1, ClientsResponded: 1, APsResponded: 1, Silent: 1}
+	totals.Add(delta)
+	return Record{
+		Schema: Schema, Stop: stop, Stops: stops,
+		SimEndNS: 6_000_000_000,
+		Census:   delta, Totals: totals,
+	}
+}
+
+func TestWriterNDJSONAndDecoder(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var totals Census
+	for i := 0; i < 3; i++ {
+		rec := testRecord(i, 3, totals)
+		totals = rec.Totals
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 || w.Err() != nil {
+		t.Fatalf("Count/Err = %d/%v", w.Count(), w.Err())
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("NDJSON lines = %d, want 3", lines)
+	}
+
+	d := NewDecoder(&buf)
+	for i := 0; i < 3; i++ {
+		rec, err := d.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Stop != i || rec.Stops != 3 {
+			t.Fatalf("record %d decoded as %+v", i, rec)
+		}
+	}
+	if _, err := d.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("end of stream = %v, want EOF", err)
+	}
+}
+
+func TestDecoderRejectsForeignSchema(t *testing.T) {
+	d := NewDecoder(strings.NewReader(`{"schema":"other/v1","stop":0}` + "\n"))
+	if _, err := d.Next(); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}
+
+// errWriter fails every write.
+type errWriter struct{}
+
+var errSink = errors.New("sink failed")
+
+func (errWriter) Write([]byte) (int, error) { return 0, errSink }
+
+func TestWriterLatchesFirstError(t *testing.T) {
+	w := NewWriter(errWriter{})
+	if err := w.Write(testRecord(0, 1, Census{})); !errors.Is(err, errSink) {
+		t.Fatalf("first write error = %v", err)
+	}
+	// Subsequent writes return the latched error without touching the
+	// sink again.
+	if err := w.Write(testRecord(1, 1, Census{})); !errors.Is(err, errSink) {
+		t.Fatalf("latched error = %v", err)
+	}
+	if w.Count() != 0 {
+		t.Fatalf("Count = %d after failed writes", w.Count())
+	}
+
+	var nilW *Writer
+	if err := nilW.Write(testRecord(0, 1, Census{})); err != nil {
+		t.Fatal("nil writer must be a no-op")
+	}
+	if nilW.Err() != nil || nilW.Count() != 0 {
+		t.Fatal("nil writer reported state")
+	}
+}
+
+func TestFoldValidatesStream(t *testing.T) {
+	// Contiguity: a gap in stop indexes must fail.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var totals Census
+	r0 := testRecord(0, 3, totals)
+	if err := w.Write(r0); err != nil {
+		t.Fatal(err)
+	}
+	r2 := testRecord(2, 3, r0.Totals)
+	if err := w.Write(r2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fold(&buf); err == nil || !strings.Contains(err.Error(), "contiguous") {
+		t.Fatalf("gap accepted: %v", err)
+	}
+
+	// Totals mismatch must fail.
+	buf.Reset()
+	w = NewWriter(&buf)
+	bad := testRecord(0, 1, Census{})
+	bad.Totals.Clients++
+	if err := w.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fold(&buf); err == nil || !strings.Contains(err.Error(), "totals") {
+		t.Fatalf("totals mismatch accepted: %v", err)
+	}
+}
+
+func TestFoldMergesTelemetryDeltas(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var totals Census
+	for i := 0; i < 2; i++ {
+		shard := telemetry.NewRegistry(nil)
+		shard.Counter("x.count", "").Add(uint64(i + 1))
+		rep := shard.Snapshot()
+		rec := testRecord(i, 2, totals)
+		totals = rec.Totals
+		rec.Telemetry = &rep
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Fold(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 2 || res.Registry == nil {
+		t.Fatalf("fold = %+v", res)
+	}
+	if c := res.Registry.Snapshot().Counter("x.count"); c == nil || c.Value != 3 {
+		t.Fatalf("folded counter = %+v, want 3", c)
+	}
+	if res.Totals.Devices() != 6 {
+		t.Fatalf("folded devices = %d, want 6", res.Totals.Devices())
+	}
+}

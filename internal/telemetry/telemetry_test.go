@@ -226,10 +226,10 @@ func TestConcurrentInstrumentUse(t *testing.T) {
 func TestTracerChromeJSON(t *testing.T) {
 	tr := NewTracer()
 	id := tr.NextID()
-	tr.Span("attacker", "tx Null", 10*eventsim.Microsecond, 40*eventsim.Microsecond, id,
+	tr.Span("attacker", "tx Null", 10*eventsim.Microsecond, 40*eventsim.Microsecond, id, 0,
 		map[string]string{"bytes": "28"})
-	tr.Span("victim", "rx Null", 12*eventsim.Microsecond, 42*eventsim.Microsecond, id, nil)
-	tr.Instant("attacker", "probe verified", 60*eventsim.Microsecond, id, nil)
+	tr.Span("victim", "rx Null", 12*eventsim.Microsecond, 42*eventsim.Microsecond, id, 0, nil)
+	tr.Instant("attacker", "probe verified", 60*eventsim.Microsecond, id, 0, nil)
 	var buf bytes.Buffer
 	if err := tr.WriteChromeJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -271,8 +271,8 @@ func TestTracerNilAndLimit(t *testing.T) {
 	if tr.NextID() != 0 {
 		t.Fatal("nil NextID != 0")
 	}
-	tr.Span("a", "b", 0, 1, 0, nil)
-	tr.Instant("a", "b", 0, 0, nil)
+	tr.Span("a", "b", 0, 1, 0, 0, nil)
+	tr.Instant("a", "b", 0, 0, 0, nil)
 	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Timeline() != "" {
 		t.Fatal("nil tracer not a no-op")
 	}
@@ -283,7 +283,7 @@ func TestTracerNilAndLimit(t *testing.T) {
 
 	small := &Tracer{limit: 2}
 	for i := 0; i < 5; i++ {
-		small.Span("t", "s", 0, 1, 0, nil)
+		small.Span("t", "s", 0, 1, 0, 0, nil)
 	}
 	if small.Len() != 2 || small.Dropped() != 3 {
 		t.Fatalf("Len/Dropped = %d/%d, want 2/3", small.Len(), small.Dropped())
@@ -293,8 +293,8 @@ func TestTracerNilAndLimit(t *testing.T) {
 func TestTracerTimeline(t *testing.T) {
 	tr := NewTracer()
 	// Recorded out of order; the timeline sorts by virtual time.
-	tr.Instant("attacker", "timeout", 90*eventsim.Microsecond, 0, nil)
-	tr.Span("attacker", "tx Null", 10*eventsim.Microsecond, 40*eventsim.Microsecond, 1,
+	tr.Instant("attacker", "timeout", 90*eventsim.Microsecond, 0, 0, nil)
+	tr.Span("attacker", "tx Null", 10*eventsim.Microsecond, 40*eventsim.Microsecond, 1, 0,
 		map[string]string{"rate": "24 Mbps"})
 	out := tr.Timeline()
 	lines := strings.Split(strings.TrimSpace(out), "\n")

@@ -20,10 +20,21 @@ import (
 // trace_event JSON (open in about:tracing or https://ui.perfetto.dev)
 // or as a plain-text timeline.
 //
+// Two ID spaces link spans causally:
+//
+//   - a flow ID ties together the spans of ONE frame's lifecycle
+//     (inject → air → receive);
+//   - an exchange ID ties together EVERY frame belonging to one probe
+//     exchange against one station — the probe tx, its retries, the
+//     solicited ACK/CTS response, and the final verdict instant — so
+//     a probe exchange renders as a connected tree in the Chrome
+//     trace and its end-to-end latency is queryable.
+//
 // A nil *Tracer is a valid no-op: every method checks the receiver,
 // so instrumented layers call unconditionally.
 type Tracer struct {
 	nextID atomic.Uint64
+	nextEx atomic.Uint64
 
 	mu      sync.Mutex
 	spans   []TraceSpan
@@ -42,7 +53,10 @@ type TraceSpan struct {
 	// FlowID links spans belonging to one frame's lifecycle
 	// (inject → air → receive → ack); 0 means unlinked.
 	FlowID uint64
-	Args   map[string]string
+	// Exchange links spans belonging to one probe exchange (probe →
+	// response/retry → verdict) across frames; 0 means unlinked.
+	Exchange uint64
+	Args     map[string]string
 }
 
 // DefaultTraceLimit bounds recorded spans so a long run cannot
@@ -62,20 +76,28 @@ func (t *Tracer) NextID() uint64 {
 	return t.nextID.Add(1)
 }
 
+// NextExchange mints a fresh exchange ID for a new probe exchange.
+func (t *Tracer) NextExchange() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.nextEx.Add(1)
+}
+
 // Span records a complete span on a track. args may be nil.
-func (t *Tracer) Span(track, name string, start, end eventsim.Time, flowID uint64, args map[string]string) {
+func (t *Tracer) Span(track, name string, start, end eventsim.Time, flowID, exchange uint64, args map[string]string) {
 	if t == nil {
 		return
 	}
-	t.record(TraceSpan{Track: track, Name: name, Phase: 'X', Start: start, End: end, FlowID: flowID, Args: args})
+	t.record(TraceSpan{Track: track, Name: name, Phase: 'X', Start: start, End: end, FlowID: flowID, Exchange: exchange, Args: args})
 }
 
 // Instant records a zero-duration event on a track.
-func (t *Tracer) Instant(track, name string, at eventsim.Time, flowID uint64, args map[string]string) {
+func (t *Tracer) Instant(track, name string, at eventsim.Time, flowID, exchange uint64, args map[string]string) {
 	if t == nil {
 		return
 	}
-	t.record(TraceSpan{Track: track, Name: name, Phase: 'i', Start: at, End: at, FlowID: flowID, Args: args})
+	t.record(TraceSpan{Track: track, Name: name, Phase: 'i', Start: at, End: at, FlowID: flowID, Exchange: exchange, Args: args})
 }
 
 func (t *Tracer) record(s TraceSpan) {
@@ -108,7 +130,50 @@ func (t *Tracer) Dropped() uint64 {
 	return t.dropped
 }
 
-// snapshotSorted returns a time-ordered copy of the spans.
+// MergeFrom appends every span of src, rebasing src's flow and
+// exchange IDs past t's so the two ID spaces never collide. It exists
+// for sharded workloads (the parallel wardrive): each stop records
+// into a private tracer, and the coordinator merges the shards in
+// stop-index order, so the merged trace — and its Chrome JSON
+// rendering — is identical to a sequential run's for every worker
+// count. src must be quiescent; t's span limit still applies, with
+// overflow counted into Dropped alongside src's own drops.
+func (t *Tracer) MergeFrom(src *Tracer) {
+	if t == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	spans := append([]TraceSpan(nil), src.spans...)
+	srcDropped := src.dropped
+	src.mu.Unlock()
+
+	flowBase := t.nextID.Load()
+	exBase := t.nextEx.Load()
+	t.mu.Lock()
+	for _, s := range spans {
+		if s.FlowID != 0 {
+			s.FlowID += flowBase
+		}
+		if s.Exchange != 0 {
+			s.Exchange += exBase
+		}
+		if t.limit > 0 && len(t.spans) >= t.limit {
+			t.dropped++
+		} else {
+			t.spans = append(t.spans, s)
+		}
+	}
+	t.dropped += srcDropped
+	t.mu.Unlock()
+	t.nextID.Add(src.nextID.Load())
+	t.nextEx.Add(src.nextEx.Load())
+}
+
+// snapshotSorted returns a time-ordered copy of the spans. The sort
+// is stable, so spans with equal timestamps keep their recording
+// order — which is deterministic (simulation event order within a
+// stop, stop-index order across merged shards), making the rendered
+// output byte-identical across replays and worker counts.
 func (t *Tracer) snapshotSorted() []TraceSpan {
 	t.mu.Lock()
 	out := append([]TraceSpan(nil), t.spans...)
@@ -134,8 +199,10 @@ type chromeEvent struct {
 
 // WriteChromeJSON exports the trace in Chrome trace_event JSON array
 // format, loadable in about:tracing and Perfetto. Tracks become
-// threads of one process; frame lifecycles are linked with flow
-// events.
+// threads of one process; frame lifecycles are linked with
+// "frame-flow" events and probe exchanges with "exchange" flow
+// events, so selecting any probe highlights its whole
+// probe→response/retry→verdict tree.
 func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, "[]")
@@ -159,9 +226,10 @@ func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 		return id
 	}
 
-	// Flow bookkeeping: first span of a flow emits a flow-start, every
-	// later one a flow-step terminating at that span.
+	// Flow bookkeeping: first span of a flow (or exchange) emits a
+	// flow-start, every later one a flow-step terminating at that span.
 	flowSeen := make(map[uint64]bool)
+	exSeen := make(map[uint64]bool)
 
 	for _, s := range spans {
 		tid := tidOf(s.Track)
@@ -190,10 +258,71 @@ func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 			}
 			events = append(events, fe)
 		}
+		if s.Exchange != 0 {
+			id := fmt.Sprintf("ex:%#x", s.Exchange)
+			fe := chromeEvent{
+				Name: "exchange", Cat: "exchange", TS: s.Start.Micros(), PID: 1, TID: tid, ID: id,
+			}
+			if !exSeen[s.Exchange] {
+				exSeen[s.Exchange] = true
+				fe.Ph = "s"
+			} else {
+				fe.Ph = "t"
+				fe.BP = "e" // bind to the enclosing slice, not the next one
+			}
+			events = append(events, fe)
+		}
 	}
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
+}
+
+// ExchangeLatency is the observed extent of one probe exchange: the
+// virtual time between its earliest and latest recorded span.
+type ExchangeLatency struct {
+	Exchange uint64
+	Start    eventsim.Time
+	End      eventsim.Time
+	Spans    int
+}
+
+// Latency reports the exchange's end-to-end virtual duration.
+func (e ExchangeLatency) Latency() eventsim.Time { return e.End - e.Start }
+
+// ExchangeLatencies computes the per-exchange extent of every
+// exchange in the trace, ordered by exchange ID — the queryable
+// counterpart of the pipeline.exchange_latency_us histogram.
+func (t *Tracer) ExchangeLatencies() []ExchangeLatency {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	byEx := make(map[uint64]*ExchangeLatency)
+	for _, s := range t.spans {
+		if s.Exchange == 0 {
+			continue
+		}
+		e, ok := byEx[s.Exchange]
+		if !ok {
+			e = &ExchangeLatency{Exchange: s.Exchange, Start: s.Start, End: s.End}
+			byEx[s.Exchange] = e
+		}
+		if s.Start < e.Start {
+			e.Start = s.Start
+		}
+		if s.End > e.End {
+			e.End = s.End
+		}
+		e.Spans++
+	}
+	t.mu.Unlock()
+	out := make([]ExchangeLatency, 0, len(byEx))
+	for _, e := range byEx {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Exchange < out[j].Exchange })
+	return out
 }
 
 // Timeline renders the trace as a plain-text table ordered by
@@ -226,6 +355,9 @@ func (t *Tracer) Timeline() string {
 		name := s.Name
 		if s.FlowID != 0 {
 			name = fmt.Sprintf("%s #%d", s.Name, s.FlowID)
+		}
+		if s.Exchange != 0 {
+			name = fmt.Sprintf("%s ~ex%d", name, s.Exchange)
 		}
 		fmt.Fprintf(&b, "%-12s %-10s %-16s %-26s %s\n", s.Start, dur, s.Track, name, args)
 	}

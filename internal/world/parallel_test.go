@@ -66,6 +66,53 @@ func TestWardriveParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestWardriveChromeTraceStable asserts the rendered Chrome trace is
+// byte-identical across worker counts: per-stop tracers merge in stop
+// order with flow/exchange IDs rebased, and equal-timestamp spans
+// keep their deterministic recording order through the stable sort.
+// It also checks the causal-exchange guarantee: every probe exchange
+// is a connected tree of at least a probe tx plus a verdict event.
+func TestWardriveChromeTraceStable(t *testing.T) {
+	run := func(workers int) *telemetry.Tracer {
+		cfg := parallelTestConfig()
+		cfg.Workers = workers
+		cfg.Trace = telemetry.NewTracer()
+		Run(cfg)
+		return cfg.Trace
+	}
+	trSeq := run(1)
+	trPar := run(4)
+
+	var bufSeq, bufPar bytes.Buffer
+	if err := trSeq.WriteChromeJSON(&bufSeq); err != nil {
+		t.Fatal(err)
+	}
+	if err := trPar.WriteChromeJSON(&bufPar); err != nil {
+		t.Fatal(err)
+	}
+	if bufSeq.Len() == 0 || trSeq.Len() == 0 {
+		t.Fatal("trace is empty; the stability check is vacuous")
+	}
+	if !bytes.Equal(bufSeq.Bytes(), bufPar.Bytes()) {
+		t.Fatalf("Chrome trace differs between Workers:1 and Workers:4 (%d vs %d bytes)",
+			bufSeq.Len(), bufPar.Len())
+	}
+
+	exchanges := trSeq.ExchangeLatencies()
+	if len(exchanges) == 0 {
+		t.Fatal("drive recorded no probe exchanges")
+	}
+	for _, ex := range exchanges {
+		if ex.Spans < 2 {
+			t.Fatalf("exchange %d has %d span(s); every probed target must link "+
+				"probe→(response|retry|timeout)→verdict", ex.Exchange, ex.Spans)
+		}
+		if ex.Latency() < 0 {
+			t.Fatalf("exchange %d has negative extent", ex.Exchange)
+		}
+	}
+}
+
 // TestWardriveReplayStable asserts that the same configuration run
 // twice (same worker count) replays bit-identically — the base
 // property the cross-worker-count test builds on.

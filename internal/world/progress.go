@@ -1,0 +1,64 @@
+package world
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"politewifi/internal/eventsim"
+)
+
+// Progress is a snapshot of a running drive, delivered to the
+// Config.Progress hook each time a stop's results are merged. Stops
+// merge in street order, so consecutive callbacks carry Stop = 1, 2,
+// ... regardless of which worker simulated which stop when.
+type Progress struct {
+	// Stop counts completed (merged) stops; Stops is the drive total.
+	Stop  int
+	Stops int
+	// Census so far.
+	Devices      int
+	Responded    int
+	Inconclusive int
+	// SimTime is the cumulative virtual time simulated across the
+	// completed stops.
+	SimTime eventsim.Time
+}
+
+// ProgressFunc receives live drive progress. It is invoked from the
+// merge path under its lock — stops arrive in order, but the hook
+// should return quickly to avoid stalling workers.
+type ProgressFunc func(Progress)
+
+// NewProgressPrinter returns a ProgressFunc that renders a live
+// one-line meter to w: stops done/total, devices found, the
+// sim-vs-wall speed ratio, and an ETA extrapolated from the pace so
+// far. The wall clock is injected by the caller — cmd binaries pass
+// time.Now — so the simulation tree itself never reads host time and
+// the politevet wallclock guarantee holds.
+func NewProgressPrinter(w io.Writer, now func() time.Time) ProgressFunc {
+	var start time.Time
+	return func(p Progress) {
+		if start.IsZero() {
+			start = now()
+		}
+		elapsed := now().Sub(start)
+		line := fmt.Sprintf("stop %d/%d  devices %d  responded %d",
+			p.Stop, p.Stops, p.Devices, p.Responded)
+		if p.Inconclusive > 0 {
+			line += fmt.Sprintf("  inconclusive %d", p.Inconclusive)
+		}
+		if elapsed > 0 {
+			rate := p.SimTime.Seconds() / elapsed.Seconds()
+			line += fmt.Sprintf("  %.1fx sim/wall", rate)
+			if p.Stop > 0 && p.Stop < p.Stops {
+				eta := time.Duration(float64(elapsed) / float64(p.Stop) * float64(p.Stops-p.Stop))
+				line += fmt.Sprintf("  eta %s", eta.Round(time.Second))
+			}
+		}
+		fmt.Fprintf(w, "\r%-78s", line)
+		if p.Stop == p.Stops {
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"politewifi/internal/phy"
 	"politewifi/internal/radio"
 	"politewifi/internal/telemetry"
+	"politewifi/internal/telemetry/stream"
 )
 
 // Spec describes one device to be instantiated when the vehicle is
@@ -300,10 +301,25 @@ type Config struct {
 	// Metrics, when non-nil, accumulates telemetry across every stop:
 	// each per-stop simulation fills a private registry (medium,
 	// stations, and scanner instruments), and the shards are merged
-	// into this registry in stop order once the drive completes.
+	// into this registry in stop order as each stop completes.
 	// Counters hold drive-wide sums; stamps carry the stop-local
 	// virtual time of the latest update in any stop.
 	Metrics *telemetry.Registry
+	// Stream, when non-nil, receives one flight-recorder record per
+	// completed stop while the drive runs: census delta plus the
+	// stop's full telemetry delta snapshot, emitted in stop-index
+	// order at every worker count. Write errors latch inside the
+	// writer and never affect the drive result.
+	Stream *stream.Writer
+	// Trace, when non-nil, accumulates frame-lifecycle and exchange
+	// spans across every stop: each stop records into a private
+	// tracer, merged here in stop order with flow/exchange IDs
+	// rebased, so the rendered trace is identical for every worker
+	// count.
+	Trace *telemetry.Tracer
+	// Progress, when non-nil, is called after each stop's results
+	// merge — always in stop order — with the running census.
+	Progress ProgressFunc
 }
 
 // DefaultConfig is the full-scale study configuration.
@@ -368,10 +384,59 @@ func Run(cfg Config) *Result {
 		workers = len(stops)
 	}
 
-	shards := make([]*stopResult, len(stops))
+	// Ordered emission: shards fold into the result, registry, tracer
+	// and flight-recorder stream the moment they become the next stop
+	// in street order — not after the whole drive — so consumers see
+	// live, deterministic progress. The emit order is stop-index order
+	// at every worker count, which is what makes the stream bytes, the
+	// merged registry, and the merged trace worker-count-invariant.
+	var totalSim eventsim.Time
+	var totals stream.Census
+	emit := func(i int, sh *stopResult) {
+		res.absorb(sh)
+		if cfg.Metrics != nil {
+			cfg.Metrics.MergeFrom(sh.metrics)
+		}
+		cfg.Trace.MergeFrom(sh.tracer)
+		totalSim += sh.simEnd
+		if cfg.Stream != nil {
+			delta := stream.Census{
+				Clients:          sh.clientsDiscovered,
+				APs:              sh.apsDiscovered,
+				ClientsResponded: sh.clientsResponded,
+				APsResponded:     sh.apsResponded,
+				Silent:           len(sh.nonResponders) - sh.inconclusive,
+				Inconclusive:     sh.inconclusive,
+			}
+			totals.Add(delta)
+			rec := stream.Record{
+				Schema:   stream.Schema,
+				Stop:     i,
+				Stops:    len(stops),
+				SimEndNS: int64(sh.simEnd),
+				Census:   delta,
+				Totals:   totals,
+			}
+			if sh.metrics != nil {
+				rep := sh.metrics.Snapshot()
+				rec.Telemetry = &rep
+			}
+			// Errors latch in the writer: a consumer disconnecting
+			// mid-stream must never change the drive's result.
+			_ = cfg.Stream.Write(rec)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(Progress{
+				Stop: i + 1, Stops: len(stops),
+				Devices: res.Total(), Responded: res.TotalResponded(),
+				Inconclusive: res.Inconclusive, SimTime: totalSim,
+			})
+		}
+	}
+	merger := &orderedMerger{pending: make(map[int]*stopResult), emit: emit}
 	if workers <= 1 {
 		for i := range stops {
-			shards[i] = runStop(rngs[i], stops[i], cfg)
+			merger.complete(i, runStop(rngs[i], stops[i], cfg))
 		}
 	} else {
 		jobs := make(chan int)
@@ -381,7 +446,7 @@ func Run(cfg Config) *Result {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					shards[i] = runStop(rngs[i], stops[i], cfg)
+					merger.complete(i, runStop(rngs[i], stops[i], cfg))
 				}
 			}()
 		}
@@ -390,15 +455,6 @@ func Run(cfg Config) *Result {
 		}
 		close(jobs)
 		wg.Wait()
-	}
-
-	// Deterministic merge: stop-index order, independent of worker
-	// scheduling.
-	for _, sh := range shards {
-		res.absorb(sh)
-		if cfg.Metrics != nil {
-			cfg.Metrics.MergeFrom(sh.metrics)
-		}
 	}
 
 	res.SimPerStop = cfg.DwellPerChannel * eventsim.Time(len(scanPlan))
@@ -416,6 +472,34 @@ func Run(cfg Config) *Result {
 
 func radioDist(a, b radio.Position) float64 { return a.DistanceTo(b) }
 
+// orderedMerger turns out-of-order shard completions into in-order
+// emission: a worker reports its finished stop, and every stop that
+// has become contiguous with the already-emitted prefix is emitted
+// under the lock. This keeps the fold (result, registry, tracer,
+// stream, progress) in stop-index order without a barrier at drive
+// end — the flight recorder streams while later stops still simulate.
+type orderedMerger struct {
+	mu      sync.Mutex
+	next    int
+	pending map[int]*stopResult
+	emit    func(i int, sh *stopResult)
+}
+
+func (m *orderedMerger) complete(i int, sh *stopResult) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pending[i] = sh
+	for {
+		ready, ok := m.pending[m.next]
+		if !ok {
+			return
+		}
+		delete(m.pending, m.next)
+		m.emit(m.next, ready)
+		m.next++
+	}
+}
+
 // stopResult is one stop's private shard of the drive census. Workers
 // fill shards without any shared state; Run merges them in stop-index
 // order.
@@ -430,8 +514,15 @@ type stopResult struct {
 	nonResponders []DeviceOutcome
 
 	// metrics is the stop-local telemetry registry (nil when the run
-	// is uninstrumented), merged into Config.Metrics after the drive.
+	// is uninstrumented), merged into Config.Metrics — and snapshotted
+	// into the flight-recorder stream — when the stop's turn to emit
+	// comes.
 	metrics *telemetry.Registry
+	// tracer is the stop-local span recorder (nil when tracing is
+	// off), merged into Config.Trace in stop order.
+	tracer *telemetry.Tracer
+	// simEnd is the stop's final virtual time.
+	simEnd eventsim.Time
 }
 
 // absorb folds one stop's shard into the drive-wide result.
@@ -464,10 +555,14 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
 		CaptureMarginDB: 10,
 	})
 	var macMx mac.Metrics
-	if cfg.Metrics != nil {
+	if cfg.Metrics != nil || cfg.Stream != nil {
 		sh.metrics = telemetry.NewRegistry(sched.ObservedNow)
 		med.SetMetrics(radio.NewMetrics(sh.metrics))
 		macMx = mac.NewMetrics(sh.metrics)
+	}
+	if cfg.Trace != nil {
+		sh.tracer = telemetry.NewTracer()
+		med.SetTracer(sh.tracer)
 	}
 	// Fault injection: forked only when enabled, so a faults-off run
 	// consumes the exact RNG stream it did before fault support
@@ -590,6 +685,7 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
 	if sh.metrics != nil {
 		accumulateStop(sh.metrics, sched, attacker, faultsOn)
 	}
+	sh.simEnd = sched.Now()
 	return sh
 }
 

@@ -44,6 +44,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"politewifi/internal/core"
@@ -51,7 +53,7 @@ import (
 	"politewifi/internal/dot11"
 	"politewifi/internal/eventsim"
 	"politewifi/internal/experiments"
-	"politewifi/internal/faults"
+	"politewifi/internal/jobspec"
 	"politewifi/internal/mac"
 	"politewifi/internal/phy"
 	"politewifi/internal/power"
@@ -219,34 +221,25 @@ func main() {
 }
 
 // cmdWardrive runs the §3 large-scale study with the stops sharded
-// across a worker pool (see internal/world and cmd/wardrive).
+// across a worker pool (see internal/world and cmd/wardrive). The job
+// flags are the canonical internal/jobspec set, shared with
+// cmd/wardrive and the politewifid daemon. SIGINT/SIGTERM cancel the
+// drive cooperatively: in-flight stops finish, the stream ends with a
+// trailer record, and the partial census prints marked cancelled.
 func cmdWardrive(args []string) {
 	fs := flag.NewFlagSet("wardrive", flag.ExitOnError)
-	seed := fs.Int64("seed", 20201104, "simulation seed")
-	scale := fs.Float64("scale", 1.0, "census scale (1.0 = 5,328 devices)")
-	stopSize := fs.Int("stop-size", 4, "households per vehicle stop")
-	dwellMS := fs.Int("dwell", 1200, "per-channel dwell per stop, ms")
-	workers := fs.Int("workers", 0, "worker goroutines simulating stops (0 = all cores)")
-	faultSpec := fs.String("faults", "", "channel fault `spec`, e.g. loss=0.3,ack=0.1,jam=0.2,deaf=0.1")
+	spec := jobspec.Drive()
+	spec.RegisterDriveFlags(fs)
 	streamPath := fs.String("stream", "", "stream per-stop flight-recorder records (NDJSON) to `file` (\"-\" = stdout)")
 	progress := fs.Bool("progress", false, "render a live progress meter on stderr")
 	tf := &telemetryFlags{}
 	tf.register(fs)
 	fs.Parse(args)
 
-	cfg := world.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Scale = *scale
-	cfg.HouseholdsPerStop = *stopSize
-	cfg.DwellPerChannel = eventsim.Time(*dwellMS) * eventsim.Millisecond
-	cfg.Workers = *workers
-	if *faultSpec != "" {
-		fc, err := faults.ParseSpec(*faultSpec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "politewifi:", err)
-			os.Exit(2)
-		}
-		cfg.Faults = &fc
+	cfg, err := spec.WorldConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "politewifi:", err)
+		os.Exit(2)
 	}
 	if tf.metricsPath != "" || *streamPath != "" {
 		// Every stop owns a private scheduler; the merged registry
@@ -280,7 +273,23 @@ func cmdWardrive(args []string) {
 		cfg.Progress = world.NewProgressPrinter(os.Stderr, time.Now)
 	}
 
+	// SIGINT/SIGTERM request a cooperative stop at the next stop
+	// boundary; in-flight stops drain and the stream gets its trailer.
+	// A second signal aborts outright.
+	cancel := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "\npolitewifi: interrupted — finishing in-flight stops (signal again to abort)")
+		close(cancel)
+		<-sigc
+		os.Exit(130)
+	}()
+	cfg.Cancel = cancel
+
 	r := experiments.Table2WithConfig(cfg)
+	signal.Stop(sigc)
 	if *streamPath == "-" {
 		// NDJSON owns stdout; the human-readable census moves aside.
 		fmt.Fprint(os.Stderr, r.Render())
@@ -300,14 +309,22 @@ func cmdWardrive(args []string) {
 		}
 	}
 	tf.flush()
+	if r.Run.Cancelled {
+		fmt.Fprintf(os.Stderr, "politewifi: \"cancelled\": true — partial census covers %d of %d stops\n",
+			r.Run.StopsDone, r.Run.Stops)
+	}
 }
 
 // cmdTail consumes a flight-recorder stream — a finished file or a
 // live pipe ("-" = stdin) — and renders each record as a table row
-// the moment its line arrives, then prints the drive summary. -fold
-// additionally rebuilds the full telemetry report from the per-stop
-// deltas and writes it as JSON; by the stream's fold-equals-snapshot
-// guarantee it matches the producer's -metrics report byte for byte.
+// the moment its line arrives, then prints the drive summary. Every
+// record passes through stream.Folder, so a truncated or corrupted
+// stream fails with a positioned error (record index + byte offset)
+// and a cancelled drive's trailer renders as a cancellation notice
+// instead of a bogus table row. -fold additionally rebuilds the full
+// telemetry report from the per-stop deltas and writes it as JSON; by
+// the stream's fold-equals-snapshot guarantee it matches the
+// producer's -metrics report byte for byte.
 func cmdTail(args []string) {
 	fs := flag.NewFlagSet("tail", flag.ExitOnError)
 	foldPath := fs.String("fold", "", "fold per-stop telemetry deltas into a full report (JSON) at `file`")
@@ -328,11 +345,10 @@ func cmdTail(args []string) {
 		in = f
 	}
 
-	var folded *telemetry.Registry
 	fmt.Printf("%5s  %10s  %8s %5s  %10s %10s %7s %7s\n",
 		"stop", "sim", "devices", "new", "responded", "silent", "incon", "resp%")
 	d := stream.NewDecoder(in)
-	records, lastTotals, lastStops := 0, stream.Census{}, 0
+	folder := stream.NewFolder()
 	var simTotal eventsim.Time
 	for {
 		rec, err := d.Next()
@@ -340,11 +356,21 @@ func cmdTail(args []string) {
 			break
 		}
 		if err != nil {
+			// A *PosError: the message carries record index and byte
+			// offset of the damage.
 			fmt.Fprintln(os.Stderr, "politewifi: tail:", err)
 			os.Exit(1)
 		}
-		records++
-		lastTotals, lastStops = rec.Totals, rec.Stops
+		if err := folder.Add(rec); err != nil {
+			fmt.Fprintf(os.Stderr, "politewifi: tail: %v (record %d, byte offset %d)\n",
+				err, d.Decoded()-1, d.Offset())
+			os.Exit(1)
+		}
+		if rec.IsTrailer() {
+			// The trailer carries no stop of its own; the cancellation
+			// notice prints with the summary below.
+			continue
+		}
 		simTotal += eventsim.Time(rec.SimEndNS - rec.SimStartNS)
 		responded := rec.Totals.ClientsResponded + rec.Totals.APsResponded
 		pct := 0.0
@@ -355,29 +381,22 @@ func cmdTail(args []string) {
 			rec.Stop+1, eventsim.Time(rec.SimEndNS-rec.SimStartNS),
 			rec.Totals.Devices(), rec.Census.Devices(),
 			responded, rec.Totals.Silent, rec.Totals.Inconclusive, pct)
-		if *foldPath != "" && rec.Telemetry != nil {
-			shard, err := telemetry.RestoreRegistry(*rec.Telemetry)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "politewifi: tail: stop %d: %v\n", rec.Stop, err)
-				os.Exit(1)
-			}
-			if folded == nil {
-				folded = telemetry.NewRegistry(nil)
-			}
-			folded.MergeFrom(shard)
-		}
 	}
 
+	res := folder.Result()
 	fmt.Printf("\n%d/%d stops: %d devices (%d clients, %d APs), %d responded, %d silent, %d inconclusive; %s simulated\n",
-		records, lastStops, lastTotals.Devices(), lastTotals.Clients, lastTotals.APs,
-		lastTotals.ClientsResponded+lastTotals.APsResponded,
-		lastTotals.Silent, lastTotals.Inconclusive, simTotal)
-	if records < lastStops {
-		fmt.Printf("stream ended early (%d of %d stops); partial census above\n", records, lastStops)
+		res.Records, res.Stops, res.Totals.Devices(), res.Totals.Clients, res.Totals.APs,
+		res.Totals.ClientsResponded+res.Totals.APsResponded,
+		res.Totals.Silent, res.Totals.Inconclusive, simTotal)
+	switch {
+	case res.Cancelled:
+		fmt.Printf("drive cancelled after %d/%d stops; partial census above\n", res.Records, res.Stops)
+	case res.Records < res.Stops:
+		fmt.Printf("stream ended early (%d of %d stops, no trailer); partial census above\n", res.Records, res.Stops)
 	}
 
 	if *foldPath != "" {
-		if folded == nil {
+		if res.Registry == nil {
 			fmt.Fprintln(os.Stderr, "politewifi: tail: stream carried no telemetry deltas to fold")
 			os.Exit(1)
 		}
@@ -386,7 +405,7 @@ func cmdTail(args []string) {
 			fmt.Fprintln(os.Stderr, "politewifi:", err)
 			os.Exit(1)
 		}
-		rep := folded.Snapshot()
+		rep := res.Registry.Snapshot()
 		if err := rep.WriteJSON(f); err == nil {
 			err = f.Close()
 		}
@@ -394,7 +413,7 @@ func cmdTail(args []string) {
 			fmt.Fprintln(os.Stderr, "politewifi:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("folded %d per-stop deltas into %s (%d counters)\n", records, *foldPath, len(rep.Counters))
+		fmt.Printf("folded %d per-stop deltas into %s (%d counters)\n", res.Records, *foldPath, len(rep.Counters))
 	}
 }
 
@@ -402,20 +421,16 @@ func cmdTail(args []string) {
 // prints the census-accuracy table (see internal/experiments).
 func cmdLossSweep(args []string) {
 	fs := flag.NewFlagSet("losssweep", flag.ExitOnError)
-	seed := fs.Int64("seed", 20201104, "simulation seed")
-	scale := fs.Float64("scale", 0.1, "census scale (1.0 = 5,328 devices; the sweep runs one drive per rate)")
-	stopSize := fs.Int("stop-size", 4, "households per vehicle stop")
-	dwellMS := fs.Int("dwell", 1200, "per-channel dwell per stop, ms")
-	workers := fs.Int("workers", 0, "worker goroutines simulating stops (0 = all cores)")
+	spec := jobspec.LossSweep()
+	spec.RegisterSweepFlags(fs)
 	fs.Parse(args)
 
-	cfg := world.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Scale = *scale
-	cfg.HouseholdsPerStop = *stopSize
-	cfg.DwellPerChannel = eventsim.Time(*dwellMS) * eventsim.Millisecond
-	cfg.Workers = *workers
-	fmt.Print(experiments.LossSweep(cfg, nil).Render())
+	cfg, err := spec.WorldConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "politewifi:", err)
+		os.Exit(2)
+	}
+	fmt.Print(experiments.LossSweep(cfg, spec.Rates).Render())
 }
 
 func cmdProbe(args []string) {

@@ -10,7 +10,10 @@
 //
 // Stops are RF-independent neighbourhoods, so the drive shards them
 // across -workers goroutines (default: all cores). The census is
-// bit-identical for every worker count; see DESIGN.md.
+// bit-identical for every worker count; see DESIGN.md. The job flags
+// (seed/scale/stop-size/dwell/workers/faults) are the canonical
+// internal/jobspec set, shared verbatim with `politewifi wardrive`
+// and the politewifid daemon's JSON job specs.
 //
 // -stream writes the flight recorder: one NDJSON record per completed
 // stop (census delta + telemetry delta), emitted in stop order while
@@ -23,6 +26,12 @@
 // "loss=0.3,ack=0.1,jam=0.2,deaf=0.1" (see internal/faults). The
 // faulted census — and its stream — is still bit-identical across
 // worker counts.
+//
+// SIGINT/SIGTERM cancel the drive cooperatively: stops already in
+// flight finish, the stream is flushed and ends with a cancellation
+// trailer record (cancelled:true), and the partial census report is
+// printed marked "drive cancelled". A second signal aborts
+// immediately.
 package main
 
 import (
@@ -30,42 +39,30 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"politewifi/internal/eventsim"
 	"politewifi/internal/experiments"
-	"politewifi/internal/faults"
+	"politewifi/internal/jobspec"
 	"politewifi/internal/telemetry"
 	"politewifi/internal/telemetry/stream"
 	"politewifi/internal/world"
 )
 
 func main() {
-	seed := flag.Int64("seed", 20201104, "simulation seed")
-	scale := flag.Float64("scale", 1.0, "census scale (1.0 = 5,328 devices)")
-	stopSize := flag.Int("stop-size", 4, "households per vehicle stop")
-	dwellMS := flag.Int("dwell", 1200, "per-channel dwell per stop, ms")
-	workers := flag.Int("workers", 0, "worker goroutines simulating stops (0 = all cores)")
+	spec := jobspec.Drive()
+	spec.RegisterDriveFlags(flag.CommandLine)
 	metricsPath := flag.String("metrics", "", "write a telemetry report (JSON) to `file`")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON with exchange flows to `file`")
 	streamPath := flag.String("stream", "", "stream per-stop flight-recorder records (NDJSON) to `file` (\"-\" = stdout)")
 	progress := flag.Bool("progress", false, "render a live progress meter on stderr")
-	faultSpec := flag.String("faults", "", "channel fault `spec`, e.g. loss=0.3,ack=0.1,jam=0.2,deaf=0.1")
 	flag.Parse()
 
-	cfg := world.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Scale = *scale
-	cfg.HouseholdsPerStop = *stopSize
-	cfg.DwellPerChannel = eventsim.Time(*dwellMS) * eventsim.Millisecond
-	cfg.Workers = *workers
-	if *faultSpec != "" {
-		fc, err := faults.ParseSpec(*faultSpec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wardrive:", err)
-			os.Exit(2)
-		}
-		cfg.Faults = &fc
+	cfg, err := spec.WorldConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wardrive:", err)
+		os.Exit(2)
 	}
 
 	var reg *telemetry.Registry
@@ -97,6 +94,21 @@ func main() {
 		cfg.Progress = world.NewProgressPrinter(os.Stderr, time.Now)
 	}
 
+	// SIGINT/SIGTERM request a cooperative stop at the next stop
+	// boundary; the drive drains in-flight stops and emits the
+	// cancellation trailer. A second signal aborts outright.
+	cancel := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "\nwardrive: interrupted — finishing in-flight stops (signal again to abort)")
+		close(cancel)
+		<-sigc
+		os.Exit(130)
+	}()
+	cfg.Cancel = cancel
+
 	// When the stream rides stdout, the human-readable output moves to
 	// stderr so the NDJSON stays machine-clean.
 	out := io.Writer(os.Stdout)
@@ -105,13 +117,14 @@ func main() {
 	}
 	if cfg.Faults != nil {
 		fmt.Fprintf(out, "wardriving: scale %.2f, %d households/stop, %d ms/channel dwell, faults %s\n\n",
-			cfg.Scale, cfg.HouseholdsPerStop, *dwellMS, *faultSpec)
+			cfg.Scale, cfg.HouseholdsPerStop, spec.DwellMS, spec.Faults)
 	} else {
 		fmt.Fprintf(out, "wardriving: scale %.2f, %d households/stop, %d ms/channel dwell\n\n",
-			cfg.Scale, cfg.HouseholdsPerStop, *dwellMS)
+			cfg.Scale, cfg.HouseholdsPerStop, spec.DwellMS)
 	}
 
 	r := experiments.Table2WithConfig(cfg)
+	signal.Stop(sigc)
 	fmt.Fprint(out, r.Render())
 
 	if cfg.Stream != nil {
@@ -164,5 +177,11 @@ func main() {
 		}
 		fmt.Fprintf(out, "wrote %d trace spans (%d exchanges) to %s\n",
 			cfg.Trace.Len(), len(cfg.Trace.ExchangeLatencies()), *tracePath)
+	}
+
+	if r.Run.Cancelled {
+		// The render already says "drive cancelled"; make the process
+		// outcome machine-checkable too.
+		fmt.Fprintf(out, "\n\"cancelled\": true — resume is only available via politewifid\n")
 	}
 }

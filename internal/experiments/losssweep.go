@@ -31,6 +31,14 @@ type LossSweepPoint struct {
 // channel starts eating frames.
 type LossSweepResult struct {
 	Points []LossSweepPoint
+	// Rates is the full sweep plan; len(Points) < len(Rates) when the
+	// sweep was cancelled part-way.
+	Rates []float64
+	// Cancelled reports a cooperative stop (world.Config.Cancel): the
+	// sweep keeps every completed point — a point whose drive was cut
+	// short is discarded, never reported as a (wrong) census — and
+	// stops visiting further rates.
+	Cancelled bool
 }
 
 // DefaultLossRates spans clean to half-lost channels.
@@ -44,16 +52,23 @@ func LossSweep(cfg world.Config, rates []float64) *LossSweepResult {
 	if len(rates) == 0 {
 		rates = DefaultLossRates
 	}
-	out := &LossSweepResult{}
+	out := &LossSweepResult{Rates: rates}
 	baseline := 0
 	for _, rate := range rates {
 		pcfg := cfg
 		pcfg.Metrics = nil // per-point telemetry would only average away
+		pcfg.Stream = nil  // fold semantics hold per drive, not across rates
 		if rate > 0 {
 			fc := faults.BurstyLoss(rate)
 			pcfg.Faults = &fc
 		}
 		res := world.Run(pcfg)
+		if res.Cancelled {
+			// The point's drive was cut short; its census covers a prefix
+			// of the city and would skew every ratio in the table.
+			out.Cancelled = true
+			break
+		}
 		p := LossSweepPoint{
 			LossRate:     rate,
 			Discovered:   res.Total(),
@@ -85,6 +100,10 @@ func (r *LossSweepResult) Render() string {
 		fmt.Fprintf(&b, "%7.0f%% %11d %10d %13d %8d %9.1f%% %7.0f%%\n",
 			100*p.LossRate, p.Discovered, p.Responded, p.Inconclusive, p.Silent,
 			100*p.ResponseRate, 100*p.CensusRecall)
+	}
+	if r.Cancelled {
+		fmt.Fprintf(&b, "sweep cancelled after %d/%d rates; points above are complete drives.\n",
+			len(r.Points), len(r.Rates))
 	}
 	b.WriteString("verdicts separate confirmed silents from channel casualties: under loss,\n")
 	b.WriteString("missing devices show up as inconclusive, not as fake non-responders.\n")

@@ -33,7 +33,13 @@ func Table2(seed int64, scale float64) *Table2Result {
 // configuration — the hook for custom dwell times and for attaching a
 // telemetry registry (cfg.Metrics) to the drive.
 func Table2WithConfig(cfg world.Config) *Table2Result {
-	res := world.Run(cfg)
+	return Table2FromResult(world.Run(cfg))
+}
+
+// Table2FromResult wraps an already-run drive — the politewifid job
+// path, where the daemon owns the Run call (cancellation, shared
+// pool, resume) and only the rendering is delegated here.
+func Table2FromResult(res *world.Result) *Table2Result {
 	out := &Table2Result{
 		Run:          res,
 		PaperClients: oui.TotalClients,
@@ -98,8 +104,15 @@ func (r *Table2Result) Render() string {
 	}
 	fmt.Fprintf(&b, "%-24s %9d   | %-24s %9d\n", "Others", cOthers, "Others", aOthers)
 	fmt.Fprintf(&b, "%-24s %9d   | %-24s %9d\n", "Total", r.Run.ClientsResponded, "Total", r.Run.APsResponded)
-	fmt.Fprintf(&b, "\ndiscovered %d devices over %d stops (~%.0f min drive)\n",
-		r.Run.Total(), r.Run.Stops, r.Run.DriveMinutes)
+	if r.Run.Cancelled {
+		// A deliberately partial drive: say so, and report how much of
+		// the route the census actually covers.
+		fmt.Fprintf(&b, "\ndiscovered %d devices over %d of %d stops (drive cancelled)\n",
+			r.Run.Total(), r.Run.StopsDone, r.Run.Stops)
+	} else {
+		fmt.Fprintf(&b, "\ndiscovered %d devices over %d stops (~%.0f min drive)\n",
+			r.Run.Total(), r.Run.Stops, r.Run.DriveMinutes)
+	}
 	fmt.Fprintf(&b, "responded to fake frames: %d (%.1f%%)\n",
 		r.Run.TotalResponded(), 100*r.ResponseRate)
 	if len(r.Run.NonResponders) > 0 {

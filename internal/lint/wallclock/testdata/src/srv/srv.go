@@ -1,0 +1,51 @@
+// Package srv is a wallclock fixture: HTTP server plumbing around
+// the simulator, politewifid-style. net/http.Server timeout fields
+// are pure time.Duration values — they configure the HTTP runtime,
+// not the simulation — so they produce no findings; neither does
+// context.AfterFunc, which the daemon's stream buffers use to wake
+// tailing readers, because it belongs to context, not time. A
+// genuine wall-clock read (a graceful-shutdown drain deadline)
+// outside cmd/ still needs a reasoned directive.
+package srv
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Server timeout fields are duration values, not clock reads: no
+// finding on any line here.
+func server() *http.Server {
+	return &http.Server{
+		Addr:              "127.0.0.1:0",
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// context.AfterFunc is the context package's, not time's: no finding.
+func wake(ctx context.Context, f func()) func() bool {
+	return context.AfterFunc(ctx, f)
+}
+
+// context deadlines are consumed as values; only producing one from
+// the wall clock reads it.
+func remaining(ctx context.Context) time.Duration {
+	if d, ok := ctx.Deadline(); ok {
+		return d.Sub(time.Unix(0, 0))
+	}
+	return 0
+}
+
+// A graceful-shutdown drain deadline genuinely reads the clock;
+// outside cmd/ it carries its reason.
+func drainDeadline() time.Time {
+	return time.Now().Add(30 * time.Second) //politevet:allow wallclock(graceful-shutdown drain deadline is host wall time by design)
+}
+
+// The same read without a directive is a finding.
+func nakedDeadline() time.Time {
+	return time.Now().Add(30 * time.Second) // want "time.Now reads the wall clock"
+}

@@ -16,7 +16,12 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: "forbid time.Now/Since/Sleep/After and friends outside cmd/ UX paths; " +
-		"simulation code must use the eventsim.Scheduler virtual clock",
+		"simulation code must use the eventsim.Scheduler virtual clock. " +
+		"Server plumbing stays clean without exemptions: net/http.Server " +
+		"timeout fields are pure time.Duration values and context.AfterFunc " +
+		"belongs to context, so neither is flagged, and cmd/politewifid's " +
+		"graceful-shutdown deadlines sit under the cmd/ allowlist; a genuine " +
+		"clock read elsewhere needs //politevet:allow wallclock(reason)",
 	Run: run,
 }
 

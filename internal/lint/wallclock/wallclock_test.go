@@ -14,3 +14,11 @@ func TestWallclock(t *testing.T) {
 func TestWallclockAllowsCmdPaths(t *testing.T) {
 	analysistest.Run(t, wallclock.Analyzer, "cmd/ux")
 }
+
+// Server plumbing (politewifid-style) must not need wholesale
+// exemptions: http.Server timeout fields and context.AfterFunc are
+// clean, and a genuine shutdown-deadline clock read passes with a
+// reasoned directive.
+func TestWallclockAllowsServerPlumbing(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "srv")
+}

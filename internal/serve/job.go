@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"politewifi/internal/experiments"
+	"politewifi/internal/jobspec"
+	"politewifi/internal/telemetry"
+	"politewifi/internal/telemetry/stream"
+	"politewifi/internal/world"
+)
+
+// State is a job's lifecycle stage.
+type State string
+
+const (
+	// StateQueued: accepted, waiting for an active-job slot.
+	StateQueued State = "queued"
+	// StateRunning: its stops are executing on the shared pool.
+	StateRunning State = "running"
+	// StateDone: ran to completion; result and stream are final.
+	StateDone State = "done"
+	// StateCancelled: cooperatively stopped; the partial result and
+	// stream (ending in a trailer record) are well formed, and the job
+	// can be resumed from its last completed stop.
+	StateCancelled State = "cancelled"
+)
+
+// Job is one submitted measurement campaign. All mutable fields are
+// guarded by mu; the HTTP handlers read snapshots, the scheduler
+// goroutine writes transitions.
+type Job struct {
+	ID   string
+	Spec jobspec.Spec
+
+	// cancel is closed (once) to request a cooperative stop; replaced
+	// with a fresh channel when the job is resumed.
+	mu         sync.Mutex
+	state      State
+	cancel     chan struct{}
+	cancelOnce *sync.Once
+
+	// buf is the flight-recorder tape (drive jobs only).
+	buf *streamBuffer
+	// metrics accumulates across the job's whole life, resumes
+	// included, exactly like a CLI run's registry.
+	metrics *telemetry.Registry
+
+	// result is the drive census so far, merged across resumes; sweep
+	// holds a losssweep job's table instead.
+	result *world.Result
+	sweep  *experiments.LossSweepResult
+
+	submitted, started, finished time.Time
+}
+
+func newJob(id string, spec jobspec.Spec, at time.Time) *Job {
+	j := &Job{
+		ID:         id,
+		Spec:       spec,
+		state:      StateQueued,
+		cancel:     make(chan struct{}),
+		cancelOnce: new(sync.Once),
+		metrics:    telemetry.NewRegistry(nil),
+		submitted:  at,
+	}
+	if spec.Kind == jobspec.KindDrive {
+		j.buf = newStreamBuffer()
+	}
+	return j
+}
+
+// requestCancel asks the job to stop; idempotent.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	once, ch := j.cancelOnce, j.cancel
+	j.mu.Unlock()
+	once.Do(func() { close(ch) })
+}
+
+// Status is the JSON view of a job served by the status and list
+// endpoints.
+type Status struct {
+	ID    string       `json:"id"`
+	State State        `json:"state"`
+	Spec  jobspec.Spec `json:"spec"`
+	// StopsDone/Stops report drive progress (totals for the route the
+	// job's spec describes); zero for a losssweep.
+	StopsDone int `json:"stops_done,omitempty"`
+	Stops     int `json:"stops,omitempty"`
+	// Census is the drive's verdict-bucketed totals so far.
+	Census *stream.Census `json:"census,omitempty"`
+	// Points/Rates report sweep progress.
+	Points int `json:"points,omitempty"`
+	Rates  int `json:"rates,omitempty"`
+
+	SubmittedAt string `json:"submitted_at,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+}
+
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// status snapshots the job under its lock.
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.ID, State: j.state, Spec: j.Spec,
+		SubmittedAt: stamp(j.submitted),
+		StartedAt:   stamp(j.started),
+		FinishedAt:  stamp(j.finished),
+	}
+	if j.result != nil {
+		st.StopsDone = j.result.StopsDone
+		st.Stops = j.result.Stops
+		c := j.result.StreamTotals()
+		st.Census = &c
+	}
+	if j.sweep != nil {
+		st.Points = len(j.sweep.Points)
+		st.Rates = len(j.sweep.Rates)
+	}
+	return st
+}
+
+// render returns the job's final human-readable report — the same
+// bytes the one-shot CLI would print for the same spec.
+func (j *Job) render() (string, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state == StateQueued || j.state == StateRunning:
+		return "", fmt.Errorf("job %s is %s; the result exists once it finishes", j.ID, j.state)
+	case j.sweep != nil:
+		return j.sweep.Render(), nil
+	case j.result != nil:
+		return experiments.Table2FromResult(j.result).Render(), nil
+	}
+	return "", fmt.Errorf("job %s has no result", j.ID)
+}

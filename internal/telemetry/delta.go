@@ -35,12 +35,30 @@ func RestoreRegistry(rep Report) (*Registry, error) {
 		return nil, fmt.Errorf("telemetry: cannot restore registry from schema %q (want %q)", rep.Schema, ReportSchema)
 	}
 	r := NewRegistry(nil)
+	// Snapshot emits each instrument name once; a duplicate means the
+	// report was corrupted in flight, and silently letting the second
+	// occurrence overwrite the first would fold a wrong aggregate.
+	dup := func(kind string, seen map[string]bool, name string) error {
+		if seen[name] {
+			return fmt.Errorf("telemetry: corrupt report: duplicate %s %q", kind, name)
+		}
+		seen[name] = true
+		return nil
+	}
+	seenC := make(map[string]bool, len(rep.Counters))
 	for _, cs := range rep.Counters {
+		if err := dup("counter", seenC, cs.Name); err != nil {
+			return nil, err
+		}
 		c := r.Counter(cs.Name, cs.Help)
 		c.v.Store(cs.Value)
 		c.lastAt.Store(cs.LastUpdateNS)
 	}
+	seenG := make(map[string]bool, len(rep.Gauges))
 	for _, gs := range rep.Gauges {
+		if err := dup("gauge", seenG, gs.Name); err != nil {
+			return nil, err
+		}
 		g := r.Gauge(gs.Name, gs.Help)
 		g.mu.Lock()
 		g.v = gs.Value
@@ -49,7 +67,11 @@ func RestoreRegistry(rep Report) (*Registry, error) {
 		g.lastAt = eventsim.Time(gs.LastUpdateNS)
 		g.mu.Unlock()
 	}
+	seenH := make(map[string]bool, len(rep.Histograms))
 	for _, hs := range rep.Histograms {
+		if err := dup("histogram", seenH, hs.Name); err != nil {
+			return nil, err
+		}
 		bounds := make([]float64, 0, len(hs.Buckets))
 		counts := make([]uint64, 0, len(hs.Buckets))
 		seenInf := false
@@ -65,6 +87,13 @@ func RestoreRegistry(rep Report) (*Registry, error) {
 			bound, err := strconv.ParseFloat(b.LE, 64)
 			if err != nil {
 				return nil, fmt.Errorf("telemetry: histogram %q bucket bound %q: %w", hs.Name, b.LE, err)
+			}
+			// Bounds must ascend strictly: Histogram's bucket search and
+			// MergeFrom both assume it, and a mangled bound would
+			// otherwise fold silently into the wrong bucket.
+			if n := len(bounds); n > 0 && bound <= bounds[n-1] {
+				return nil, fmt.Errorf("telemetry: histogram %q bucket bounds not ascending (%g after %g)",
+					hs.Name, bound, bounds[n-1])
 			}
 			bounds = append(bounds, bound)
 			counts = append(counts, b.Count)

@@ -97,6 +97,45 @@ func (r *Registry) MergeFrom(src *Registry) {
 	}
 }
 
+// MergeableFrom reports whether MergeFrom(src) would succeed without
+// panicking: every histogram name shared by both registries must
+// carry identical bucket bounds. Inside the simulator a mismatch is a
+// programming error and MergeFrom rightly panics; a fold over
+// *external* data (a flight-recorder stream off a disk or a socket)
+// must instead surface corruption as an error, so stream consumers
+// call this before MergeFrom.
+func (r *Registry) MergeableFrom(src *Registry) error {
+	if src == nil || src == r {
+		return nil
+	}
+	src.mu.Lock()
+	hists := make(map[string]*Histogram, len(src.hists))
+	for k, v := range src.hists {
+		hists[k] = v
+	}
+	src.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, sh := range hists {
+		dh, ok := r.hists[name]
+		if !ok {
+			continue
+		}
+		sh.mu.Lock()
+		sb := append([]float64(nil), sh.bounds...)
+		sh.mu.Unlock()
+		if len(dh.bounds) != len(sb) {
+			return fmt.Errorf("telemetry: histogram %q has %d buckets here but %d in the source", name, len(dh.bounds), len(sb))
+		}
+		for i, b := range dh.bounds {
+			if b != sb[i] {
+				return fmt.Errorf("telemetry: histogram %q bucket %d bound %g here but %g in the source", name, i, b, sb[i])
+			}
+		}
+	}
+	return nil
+}
+
 // merge folds a source counter's state in: values add, the stamp
 // keeps the later virtual time.
 func (c *Counter) merge(v uint64, lastAt eventsim.Time) {

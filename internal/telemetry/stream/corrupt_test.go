@@ -1,0 +1,322 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"politewifi/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenStream builds a small deterministic stream with telemetry
+// deltas (counters, gauges, and a histogram, so every RestoreRegistry
+// path is exercised) and returns its NDJSON bytes.
+func goldenStream(t *testing.T, stops int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var totals Census
+	for i := 0; i < stops; i++ {
+		shard := telemetry.NewRegistry(nil)
+		shard.Counter("scan.frames_tx", "").Add(uint64(10 + i))
+		shard.Gauge("scan.assoc_depth", "").Set(float64(i))
+		h := shard.Histogram("scan.resp_us", "", []float64{10, 100, 1000})
+		h.Observe(float64(5 * (i + 1)))
+		h.Observe(float64(50 * (i + 1)))
+		rep := shard.Snapshot()
+		rec := testRecord(i, stops, totals)
+		totals = rec.Totals
+		rec.Telemetry = &rep
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestFoldGoldenFile pins the on-disk fixture: the committed golden
+// stream folds cleanly and the chopped variants derived from it keep
+// failing with positioned errors. Regenerate with -update after an
+// intentional schema change.
+func TestFoldGoldenFile(t *testing.T) {
+	data := goldenStream(t, 4)
+	golden := filepath.Join("testdata", "fold_golden.ndjson")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("generated stream diverged from golden (%d vs %d bytes); "+
+			"regenerate with -update if intentional", len(data), len(want))
+	}
+	res, err := Fold(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 4 || res.Stops != 4 || res.Cancelled {
+		t.Fatalf("golden fold = %+v", res)
+	}
+	if c := res.Registry.Snapshot().Counter("scan.frames_tx"); c == nil || c.Value != 10+11+12+13 {
+		t.Fatalf("folded counter = %+v", c)
+	}
+}
+
+// TestFoldTruncatedMidRecord chops the golden stream inside a record
+// — the classic crashed-writer artifact — and asserts the fold fails
+// with a *PosError naming the damaged record and a plausible byte
+// offset, instead of panicking or silently folding the partial line.
+func TestFoldTruncatedMidRecord(t *testing.T) {
+	data := goldenStream(t, 4)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// Offsets of each record's first byte.
+	starts := make([]int, 0, 4)
+	off := 0
+	for _, l := range lines {
+		if len(l) > 0 {
+			starts = append(starts, off)
+			off += len(l)
+		}
+	}
+	for rec := 1; rec < 4; rec++ {
+		// Chop 10 bytes into record `rec` — mid-line, no trailing \n.
+		chop := starts[rec] + 10
+		_, err := Fold(bytes.NewReader(data[:chop]))
+		if err == nil {
+			t.Fatalf("chop at %d folded cleanly", chop)
+		}
+		var pe *PosError
+		if !errors.As(err, &pe) {
+			t.Fatalf("chop at %d: error %T (%v), want *PosError", chop, err, err)
+		}
+		if pe.Record != rec {
+			t.Fatalf("chop inside record %d reported record %d (%v)", rec, pe.Record, err)
+		}
+		// The offset points at or just before the damaged record (the
+		// previous record's newline may remain unconsumed).
+		if pe.Offset < int64(starts[rec]-1) || pe.Offset > int64(chop) {
+			t.Fatalf("chop at %d reported offset %d, want within [%d, %d]",
+				chop, pe.Offset, starts[rec]-1, chop)
+		}
+		if !strings.Contains(err.Error(), "truncated record") {
+			t.Fatalf("error %q does not identify the truncation", err)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("error %v does not unwrap to ErrUnexpectedEOF", err)
+		}
+	}
+}
+
+// TestFoldTruncatedAtBoundary chops the stream exactly at a record
+// boundary: the fold succeeds — the prefix is internally consistent —
+// and the severed pipe shows as Records < Stops with no trailer.
+func TestFoldTruncatedAtBoundary(t *testing.T) {
+	data := goldenStream(t, 4)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	prefix := bytes.Join(lines[:2], nil)
+	res, err := Fold(bytes.NewReader(prefix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 2 || res.Stops != 4 || res.Cancelled {
+		t.Fatalf("boundary-chopped fold = %+v, want 2/4 records uncancelled", res)
+	}
+}
+
+// TestFoldCorruptedMidRecord mangles bytes inside a record (the JSON
+// no longer parses) and asserts a positioned decode error.
+func TestFoldCorruptedMidRecord(t *testing.T) {
+	data := goldenStream(t, 4)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	corrupt := append([]byte(nil), lines[0]...)
+	bad := append([]byte(nil), lines[1]...)
+	copy(bad[5:], `@@@@`) // stomp inside the schema field
+	corrupt = append(corrupt, bad...)
+	corrupt = append(corrupt, lines[2]...)
+
+	_, err := Fold(bytes.NewReader(corrupt))
+	var pe *PosError
+	if !errors.As(err, &pe) {
+		t.Fatalf("corrupted record: error %T (%v), want *PosError", err, err)
+	}
+	if pe.Record != 1 {
+		t.Fatalf("corruption in record 1 reported record %d", pe.Record)
+	}
+}
+
+// TestFoldCorruptTelemetry covers per-stop telemetry damage that used
+// to panic or fold silently: duplicate instrument names, non-ascending
+// histogram bounds, and a histogram whose bounds change mid-stream.
+func TestFoldCorruptTelemetry(t *testing.T) {
+	data := goldenStream(t, 4)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+
+	mutate := func(rec int, f func(string) string) []byte {
+		var out []byte
+		for i, l := range lines {
+			if i == rec {
+				l = []byte(f(string(l)))
+			}
+			out = append(out, l...)
+		}
+		return out
+	}
+
+	t.Run("duplicate counter", func(t *testing.T) {
+		// Rename the gauge to collide with itself is impossible via
+		// string replace of distinct names; instead duplicate the
+		// counter entry in the counters array.
+		mutated := mutate(2, func(s string) string {
+			const needle = `"counters":[`
+			i := strings.Index(s, needle)
+			if i < 0 {
+				t.Fatal("fixture drift: no counters array in record")
+			}
+			rest := s[i+len(needle):]
+			end := strings.Index(rest, `]`)
+			entry := rest[:end]
+			return s[:i+len(needle)] + entry + "," + entry + s[i+len(needle)+end:]
+		})
+		_, err := Fold(bytes.NewReader(mutated))
+		if err == nil || !strings.Contains(err.Error(), "duplicate counter") {
+			t.Fatalf("duplicate counter folded: %v", err)
+		}
+		if err != nil && !strings.Contains(err.Error(), "stop 2") {
+			t.Fatalf("error %q does not name the damaged stop", err)
+		}
+	})
+
+	t.Run("non-ascending bounds", func(t *testing.T) {
+		mutated := mutate(1, func(s string) string {
+			return strings.Replace(s, `"le":"100"`, `"le":"9"`, 1)
+		})
+		_, err := Fold(bytes.NewReader(mutated))
+		if err == nil || !strings.Contains(err.Error(), "not ascending") {
+			t.Fatalf("non-ascending bounds folded: %v", err)
+		}
+	})
+
+	t.Run("bounds drift mid-stream", func(t *testing.T) {
+		// Record 3's histogram grows an extra bucket: MergeFrom would
+		// panic; the fold must surface a positioned error instead.
+		mutated := mutate(3, func(s string) string {
+			return strings.Replace(s, `{"le":"1000"`, `{"le":"500","count":0},{"le":"1000"`, 1)
+		})
+		_, err := Fold(bytes.NewReader(mutated))
+		if err == nil || !strings.Contains(err.Error(), "buckets") {
+			t.Fatalf("mid-stream bounds drift folded: %v", err)
+		}
+		if err != nil && !strings.Contains(err.Error(), "stop 3") {
+			t.Fatalf("error %q does not name the damaged stop", err)
+		}
+	})
+}
+
+// TestFoldTrailer covers the cancellation trailer: a well-placed
+// trailer folds to Cancelled with the prefix intact; a trailer lying
+// about the completed-stop count or totals fails; records after the
+// trailer fail.
+func TestFoldTrailer(t *testing.T) {
+	build := func(stops, trailerAt int, mutate func(*Record)) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		var totals Census
+		for i := 0; i < trailerAt; i++ {
+			rec := testRecord(i, stops, totals)
+			totals = rec.Totals
+			if err := w.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr := Trailer(trailerAt, stops, totals)
+		if mutate != nil {
+			mutate(&tr)
+		}
+		if err := w.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	res, err := Fold(bytes.NewReader(build(5, 2, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cancelled || res.Records != 2 || res.Stops != 5 {
+		t.Fatalf("trailer fold = %+v", res)
+	}
+
+	if _, err := Fold(bytes.NewReader(build(5, 2, func(r *Record) { r.Stop = 3 }))); err == nil ||
+		!strings.Contains(err.Error(), "trailer claims") {
+		t.Fatalf("lying trailer folded: %v", err)
+	}
+	if _, err := Fold(bytes.NewReader(build(5, 2, func(r *Record) { r.Totals.APs++ }))); err == nil ||
+		!strings.Contains(err.Error(), "trailer totals") {
+		t.Fatalf("trailer with skewed totals folded: %v", err)
+	}
+
+	// A record after the trailer is a malformed stream.
+	var buf bytes.Buffer
+	buf.Write(build(5, 2, nil))
+	w := NewWriter(&buf)
+	if err := w.Write(testRecord(2, 5, Census{})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fold(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "after cancellation trailer") {
+		t.Fatalf("record after trailer folded: %v", err)
+	}
+}
+
+// TestDecoderPositionAccessors pins Decoded/Offset bookkeeping, which
+// callers use to report and resume from damage.
+func TestDecoderPositionAccessors(t *testing.T) {
+	data := goldenStream(t, 3)
+	d := NewDecoder(bytes.NewReader(data))
+	if d.Decoded() != 0 {
+		t.Fatalf("fresh decoder Decoded = %d", d.Decoded())
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d.Next(); err != nil {
+			t.Fatal(err)
+		}
+		if d.Decoded() != i+1 {
+			t.Fatalf("after record %d Decoded = %d", i, d.Decoded())
+		}
+	}
+	if _, err := d.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("end = %v", err)
+	}
+	// InputOffset stops at the last JSON token; the trailing newline may
+	// stay uncounted.
+	if off := d.Offset(); off < int64(len(data)-1) || off > int64(len(data)) {
+		t.Fatalf("Offset = %d, want ~%d", off, len(data))
+	}
+}
+
+// TestPosErrorFormat pins the error rendering consumers grep for.
+func TestPosErrorFormat(t *testing.T) {
+	e := &PosError{Record: 7, Offset: 4242, Err: fmt.Errorf("boom")}
+	want := "stream: record 7 (byte offset 4242): boom"
+	if e.Error() != want {
+		t.Fatalf("PosError renders %q, want %q", e.Error(), want)
+	}
+	if !errors.Is(e, e.Err) {
+		t.Fatal("PosError does not unwrap")
+	}
+}

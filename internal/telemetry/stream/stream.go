@@ -76,6 +76,30 @@ type Record struct {
 	// with telemetry.RestoreRegistry + MergeFrom reproduces the final
 	// merged report exactly.
 	Telemetry *telemetry.Report `json:"telemetry,omitempty"`
+	// Cancelled marks a trailer record: a cooperatively cancelled
+	// drive drains its workers and then emits one final record with
+	// Cancelled true, a zero Census delta, the final Totals, and Stop
+	// equal to the number of stops actually completed — so a consumer
+	// can tell a deliberate partial drive from a severed pipe. An
+	// uncancelled drive never sets the field, keeping its byte stream
+	// identical to one produced before the field existed.
+	Cancelled bool `json:"cancelled,omitempty"`
+}
+
+// IsTrailer reports whether the record is a cancellation trailer
+// rather than a completed stop.
+func (r Record) IsTrailer() bool { return r.Cancelled }
+
+// Trailer builds the cancellation trailer for a drive that completed
+// stopsDone of stops with the given final totals.
+func Trailer(stopsDone, stops int, totals Census) Record {
+	return Record{
+		Schema:    Schema,
+		Stop:      stopsDone,
+		Stops:     stops,
+		Totals:    totals,
+		Cancelled: true,
+	}
 }
 
 // Writer emits records as NDJSON. A nil *Writer is a valid no-op, so
@@ -140,10 +164,29 @@ func (sw *Writer) Count() int {
 	return sw.count
 }
 
+// PosError is a decode or fold failure pinned to its position in the
+// stream: the 0-based index of the record being processed and the
+// byte offset the decoder had reached. A consumer recovering a
+// truncated flight-recorder file can report — and resume from —
+// exactly the damage, instead of panicking or folding a silent
+// partial aggregate.
+type PosError struct {
+	Record int   // 0-based index of the record being decoded
+	Offset int64 // byte offset into the stream where decoding stopped
+	Err    error
+}
+
+func (e *PosError) Error() string {
+	return fmt.Sprintf("stream: record %d (byte offset %d): %v", e.Record, e.Offset, e.Err)
+}
+
+func (e *PosError) Unwrap() error { return e.Err }
+
 // Decoder reads a stream record-by-record — from a file or a live
 // pipe (it returns records as soon as complete lines arrive).
 type Decoder struct {
 	dec *json.Decoder
+	n   int // records decoded so far
 }
 
 // NewDecoder wraps r.
@@ -151,18 +194,39 @@ func NewDecoder(r io.Reader) *Decoder {
 	return &Decoder{dec: json.NewDecoder(r)}
 }
 
-// Next decodes the next record; io.EOF at clean end of stream. The
-// record's schema is validated.
+// Next decodes the next record; io.EOF at clean end of stream. Every
+// other failure — a record chopped mid-line, corrupted JSON, a wrong
+// schema — is returned as a *PosError carrying the record index and
+// byte offset. The record's schema is validated.
 func (d *Decoder) Next() (Record, error) {
 	var rec Record
 	if err := d.dec.Decode(&rec); err != nil {
-		return Record{}, err
+		if errors.Is(err, io.EOF) {
+			// A clean EOF means the stream ended on a record boundary.
+			// EOF inside a record means the tail was chopped — report
+			// where, rather than pretending the stream ended cleanly.
+			return Record{}, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			err = fmt.Errorf("truncated record: %w", err)
+		}
+		return Record{}, &PosError{Record: d.n, Offset: d.dec.InputOffset(), Err: err}
 	}
 	if rec.Schema != Schema {
-		return Record{}, fmt.Errorf("stream: record schema %q (want %q)", rec.Schema, Schema)
+		return Record{}, &PosError{
+			Record: d.n, Offset: d.dec.InputOffset(),
+			Err: fmt.Errorf("record schema %q (want %q)", rec.Schema, Schema),
+		}
 	}
+	d.n++
 	return rec, nil
 }
+
+// Decoded reports how many records Next has returned successfully.
+func (d *Decoder) Decoded() int { return d.n }
+
+// Offset reports the byte offset the decoder has consumed.
+func (d *Decoder) Offset() int64 { return d.dec.InputOffset() }
 
 // FoldResult is the aggregate of a full stream: the final census and
 // the telemetry registry rebuilt by folding every per-stop delta.
@@ -170,22 +234,94 @@ type FoldResult struct {
 	Stops   int
 	Records int
 	Totals  Census
+	// Cancelled records whether the stream ended with a cancellation
+	// trailer — a deliberately partial drive, as opposed to a severed
+	// pipe (Records < Stops with no trailer).
+	Cancelled bool
 	// Registry is the fold of every record's Telemetry delta; its
 	// Snapshot() must equal the drive's final merged report. Nil when
 	// the stream carried no telemetry.
 	Registry *telemetry.Registry
 }
 
+// Folder folds a stream record-by-record. It is the one fold
+// implementation — Fold, `politewifi tail -fold`, and the politewifid
+// job endpoints all feed records through it — validating the stream's
+// integrity as it goes: contiguous 0-based stop indexes, consistent
+// stop totals, running Totals matching the summed deltas, no records
+// after a cancellation trailer, and per-stop telemetry deltas that
+// restore cleanly and merge without conflicting instrument shapes. A
+// corrupted record is a positioned error, never a panic or a silent
+// partial fold.
+type Folder struct {
+	res FoldResult
+}
+
+// NewFolder returns an empty folder.
+func NewFolder() *Folder { return &Folder{} }
+
+// Add folds one record. The error, if any, identifies the offending
+// record by stop index; Add must not be called again after an error.
+func (f *Folder) Add(rec Record) error {
+	res := &f.res
+	if res.Cancelled {
+		return fmt.Errorf("stream: record after cancellation trailer (stop index %d)", rec.Stop)
+	}
+	if rec.IsTrailer() {
+		if rec.Stop != res.Records {
+			return fmt.Errorf("stream: trailer claims %d completed stops but %d records were folded", rec.Stop, res.Records)
+		}
+		if rec.Totals != res.Totals {
+			return fmt.Errorf("stream: trailer totals %+v do not match summed deltas %+v", rec.Totals, res.Totals)
+		}
+		res.Cancelled = true
+		return nil
+	}
+	if rec.Stop != res.Records {
+		return fmt.Errorf("stream: record %d has stop index %d (stream not contiguous)", res.Records, rec.Stop)
+	}
+	if res.Records == 0 {
+		res.Stops = rec.Stops
+	} else if rec.Stops != res.Stops {
+		return fmt.Errorf("stream: stop %d reports %d total stops (earlier records said %d)", rec.Stop, rec.Stops, res.Stops)
+	}
+	res.Totals.Add(rec.Census)
+	if rec.Totals != res.Totals {
+		return fmt.Errorf("stream: stop %d running totals %+v do not match summed deltas %+v", rec.Stop, rec.Totals, res.Totals)
+	}
+	if rec.Telemetry != nil {
+		shard, err := telemetry.RestoreRegistry(*rec.Telemetry)
+		if err != nil {
+			return fmt.Errorf("stream: stop %d: %w", rec.Stop, err)
+		}
+		if res.Registry == nil {
+			res.Registry = telemetry.NewRegistry(nil)
+		}
+		// A delta whose instrument shapes conflict with the aggregate
+		// (a histogram re-bucketed mid-stream by corruption) would
+		// panic inside MergeFrom; surface it as a positioned error.
+		if err := res.Registry.MergeableFrom(shard); err != nil {
+			return fmt.Errorf("stream: stop %d: %w", rec.Stop, err)
+		}
+		res.Registry.MergeFrom(shard)
+	}
+	res.Records++
+	return nil
+}
+
+// Result returns the fold so far. The pointee is owned by the folder;
+// callers read it after the last Add.
+func (f *Folder) Result() *FoldResult { return &f.res }
+
 // Fold consumes an entire stream and folds it: census deltas sum, and
 // each record's telemetry delta is restored and merged in order —
 // the same MergeFrom path the live drive uses, so the folded
-// registry's Snapshot() is byte-identical to the final report. Fold
-// validates the stream's integrity: contiguous 0-based stop indexes,
-// consistent stop totals, and running Totals that match the summed
-// deltas.
+// registry's Snapshot() is byte-identical to the final report. A
+// truncated or corrupted stream yields a *PosError naming the record
+// index and byte offset of the damage.
 func Fold(r io.Reader) (*FoldResult, error) {
 	d := NewDecoder(r)
-	res := &FoldResult{}
+	f := NewFolder()
 	for {
 		rec, err := d.Next()
 		if errors.Is(err, io.EOF) {
@@ -194,29 +330,11 @@ func Fold(r io.Reader) (*FoldResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if rec.Stop != res.Records {
-			return nil, fmt.Errorf("stream: record %d has stop index %d (stream not contiguous)", res.Records, rec.Stop)
+		// Add's errors name the offending stop index themselves; only
+		// decode-level failures need the byte-offset wrapper.
+		if err := f.Add(rec); err != nil {
+			return nil, err
 		}
-		if res.Records == 0 {
-			res.Stops = rec.Stops
-		} else if rec.Stops != res.Stops {
-			return nil, fmt.Errorf("stream: stop %d reports %d total stops (earlier records said %d)", rec.Stop, rec.Stops, res.Stops)
-		}
-		res.Totals.Add(rec.Census)
-		if rec.Totals != res.Totals {
-			return nil, fmt.Errorf("stream: stop %d running totals %+v do not match summed deltas %+v", rec.Stop, rec.Totals, res.Totals)
-		}
-		if rec.Telemetry != nil {
-			shard, err := telemetry.RestoreRegistry(*rec.Telemetry)
-			if err != nil {
-				return nil, fmt.Errorf("stream: stop %d: %w", rec.Stop, err)
-			}
-			if res.Registry == nil {
-				res.Registry = telemetry.NewRegistry(nil)
-			}
-			res.Registry.MergeFrom(shard)
-		}
-		res.Records++
 	}
-	return res, nil
+	return f.Result(), nil
 }

@@ -1,0 +1,274 @@
+package world
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"politewifi/internal/telemetry"
+	"politewifi/internal/telemetry/stream"
+)
+
+// cancelAtStop returns a Cancel channel plus a Progress hook that
+// closes it once k stops have merged — the deterministic way to cancel
+// "at stop k": the signal fires inside the ordered emit path, so
+// exactly the workers in flight at that moment drain and no new stops
+// dispatch.
+func cancelAtStop(k int, inner ProgressFunc) (<-chan struct{}, ProgressFunc) {
+	ch := make(chan struct{})
+	closed := false
+	return ch, func(p Progress) {
+		if inner != nil {
+			inner(p)
+		}
+		if p.Stop >= k && !closed {
+			closed = true
+			close(ch)
+		}
+	}
+}
+
+// TestCancelPartialPrefix: a cancelled drive returns a well-formed
+// partial result — a contiguous prefix of the full drive — and its
+// stream is a prefix of the full stream plus exactly one trailer
+// record, at sequential and parallel worker counts.
+func TestCancelPartialPrefix(t *testing.T) {
+	full := func() (*Result, []byte) {
+		cfg := parallelTestConfig()
+		cfg.Workers = 1
+		cfg.Metrics = telemetry.NewRegistry(nil)
+		var buf bytes.Buffer
+		cfg.Stream = stream.NewWriter(&buf)
+		return Run(cfg), buf.Bytes()
+	}
+	fullRes, fullStream := full()
+	if fullRes.Cancelled || fullRes.StopsDone != fullRes.Stops {
+		t.Fatalf("uncancelled drive reports Cancelled=%v StopsDone=%d (stops %d)",
+			fullRes.Cancelled, fullRes.StopsDone, fullRes.Stops)
+	}
+	fullLines := bytes.SplitAfter(fullStream, []byte("\n"))
+
+	const cancelAt = 5
+	for _, workers := range []int{1, 4} {
+		cfg := parallelTestConfig()
+		cfg.Workers = workers
+		cfg.Metrics = telemetry.NewRegistry(nil)
+		var buf bytes.Buffer
+		cfg.Stream = stream.NewWriter(&buf)
+		cfg.Cancel, cfg.Progress = cancelAtStop(cancelAt, nil)
+		res := Run(cfg)
+
+		if workers == 1 {
+			// Sequential cancellation is exact: the loop checks the
+			// signal before each stop, so precisely cancelAt stops ran.
+			if res.StopsDone != cancelAt {
+				t.Fatalf("sequential cancel at stop %d left StopsDone=%d", cancelAt, res.StopsDone)
+			}
+		} else if res.StopsDone < cancelAt {
+			// Parallel cancellation drains in-flight workers, so the
+			// exact count depends on scheduling — but never fewer stops
+			// than had merged when the signal fired.
+			t.Fatalf("workers=%d: StopsDone=%d < cancel point %d", workers, res.StopsDone, cancelAt)
+		}
+		if res.Cancelled != (res.StopsDone < fullRes.Stops) {
+			t.Fatalf("workers=%d: Cancelled=%v inconsistent with StopsDone=%d/%d",
+				workers, res.Cancelled, res.StopsDone, fullRes.Stops)
+		}
+		if !res.Cancelled {
+			// Scheduling let every stop finish before the drain — the
+			// result must then be the full drive, trailer-free.
+			if !bytes.Equal(buf.Bytes(), fullStream) {
+				t.Fatalf("workers=%d: uncancelled-by-race drive streamed different bytes", workers)
+			}
+			continue
+		}
+
+		lines := bytes.SplitAfter(buf.Bytes(), []byte("\n"))
+		// SplitAfter leaves a trailing empty slice after the final \n;
+		// the line before it is the trailer.
+		if n := len(lines); n < 2 || len(lines[n-1]) != 0 {
+			t.Fatalf("workers=%d: malformed stream tail", workers)
+		}
+		records := lines[: len(lines)-2 : len(lines)-2]
+		if got, want := len(records), res.StopsDone; got != want {
+			t.Fatalf("workers=%d: stream has %d stop records, result says %d stops done",
+				workers, got, want)
+		}
+		// Every stop record must be byte-identical to the full drive's
+		// record for the same stop: cancellation truncates, never skews.
+		for i, line := range records {
+			if !bytes.Equal(line, fullLines[i]) {
+				t.Fatalf("workers=%d: stream record %d differs from the uncancelled drive:\ngot:  %s\nwant: %s",
+					workers, i, line, fullLines[i])
+			}
+		}
+
+		fold, err := stream.Fold(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("workers=%d: folding cancelled stream: %v", workers, err)
+		}
+		if !fold.Cancelled {
+			t.Fatalf("workers=%d: fold did not see the cancellation trailer", workers)
+		}
+		if fold.Records != res.StopsDone {
+			t.Fatalf("workers=%d: fold saw %d records, want %d", workers, fold.Records, res.StopsDone)
+		}
+		if fold.Totals != res.StreamTotals() {
+			t.Fatalf("workers=%d: folded totals %+v != result totals %+v",
+				workers, fold.Totals, res.StreamTotals())
+		}
+
+		// The partial registry equals the fold of the partial stream.
+		var folded, final bytes.Buffer
+		if err := fold.Registry.Snapshot().WriteJSON(&folded); err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Metrics.Snapshot().WriteJSON(&final); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(folded.Bytes(), final.Bytes()) {
+			t.Fatalf("workers=%d: folded partial stream != partial registry snapshot", workers)
+		}
+	}
+}
+
+// TestCancelBeforeStart: a pre-closed Cancel yields an empty but
+// well-formed result — zero stops done, a lone trailer on the stream.
+func TestCancelBeforeStart(t *testing.T) {
+	cfg := parallelTestConfig()
+	cfg.Workers = 3
+	ch := make(chan struct{})
+	close(ch)
+	cfg.Cancel = ch
+	var buf bytes.Buffer
+	cfg.Stream = stream.NewWriter(&buf)
+	res := Run(cfg)
+	if !res.Cancelled || res.StopsDone != 0 {
+		t.Fatalf("pre-cancelled drive: Cancelled=%v StopsDone=%d", res.Cancelled, res.StopsDone)
+	}
+	if res.Total() != 0 {
+		t.Fatalf("pre-cancelled drive discovered %d devices", res.Total())
+	}
+	fold, err := stream.Fold(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fold.Cancelled || fold.Records != 0 {
+		t.Fatalf("fold of pre-cancelled stream: %+v", fold)
+	}
+}
+
+// TestResumeReproducesFullDrive is the checkpoint/restart guarantee:
+// cancel a drive at stop k, then resume with StartStop=StopsDone and
+// ResumeTotals=StreamTotals; the resumed stream's records concatenated
+// after the cancelled prefix (sans trailer) must be byte-identical to
+// the uncancelled drive's stream, and the summed censuses must match.
+func TestResumeReproducesFullDrive(t *testing.T) {
+	run := func(cfg Config) (*Result, []byte, *telemetry.Registry) {
+		cfg.Metrics = telemetry.NewRegistry(nil)
+		var buf bytes.Buffer
+		cfg.Stream = stream.NewWriter(&buf)
+		res := Run(cfg)
+		return res, buf.Bytes(), cfg.Metrics
+	}
+
+	fullCfg := parallelTestConfig()
+	fullCfg.Workers = 2
+	fullRes, fullStream, fullReg := run(fullCfg)
+
+	// Cancel sequentially so the cut point is exact and the test is
+	// scheduling-independent.
+	cancelCfg := parallelTestConfig()
+	cancelCfg.Workers = 1
+	cancelCfg.Cancel, cancelCfg.Progress = cancelAtStop(4, nil)
+	partRes, partStream, _ := run(cancelCfg)
+	if !partRes.Cancelled || partRes.StopsDone != 4 {
+		t.Fatalf("setup: sequential cancel at stop 4 produced StopsDone=%d Cancelled=%v",
+			partRes.StopsDone, partRes.Cancelled)
+	}
+
+	resumeCfg := parallelTestConfig()
+	resumeCfg.Workers = 3 // a different pool shape must not matter
+	resumeCfg.StartStop = partRes.StopsDone
+	resumeCfg.ResumeTotals = partRes.StreamTotals()
+	resRes, resStream, resReg := run(resumeCfg)
+	if resRes.Cancelled {
+		t.Fatal("resumed drive reports Cancelled")
+	}
+	if resRes.StopsDone != fullRes.Stops {
+		t.Fatalf("resumed drive StopsDone=%d, want %d", resRes.StopsDone, fullRes.Stops)
+	}
+
+	// Drop the trailer — the last NDJSON line — from the partial stream.
+	trimmed := partStream[:len(partStream)-1] // trailing \n
+	cut := bytes.LastIndexByte(trimmed, '\n') + 1
+	prefix := partStream[:cut]
+	stitched := append(append([]byte(nil), prefix...), resStream...)
+	if !bytes.Equal(stitched, fullStream) {
+		t.Fatalf("prefix+resume stream != full stream (%d vs %d bytes)",
+			len(stitched), len(fullStream))
+	}
+
+	// Censuses: partial + resumed = full.
+	sum := partRes.StreamTotals()
+	sum.Add(resRes.StreamTotals())
+	if sum != fullRes.StreamTotals() {
+		t.Fatalf("partial+resumed census %+v != full census %+v", sum, fullRes.StreamTotals())
+	}
+
+	// The stitched stream folds to the full drive's registry.
+	fold, err := stream.Fold(bytes.NewReader(stitched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var folded, want bytes.Buffer
+	if err := fold.Registry.Snapshot().WriteJSON(&folded); err != nil {
+		t.Fatal(err)
+	}
+	if err := fullReg.Snapshot().WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(folded.Bytes(), want.Bytes()) {
+		t.Fatal("folded stitched stream != full drive registry snapshot")
+	}
+	_ = resReg
+}
+
+// TestSubmitExecutorDeterminism: running the drive over an external
+// executor (the daemon's shared-pool path) produces a Result and
+// stream byte-identical to the private-pool drive.
+func TestSubmitExecutorDeterminism(t *testing.T) {
+	ref := parallelTestConfig()
+	ref.Workers = 1
+	ref.Metrics = telemetry.NewRegistry(nil)
+	var refBuf bytes.Buffer
+	ref.Stream = stream.NewWriter(&refBuf)
+	want := Run(ref)
+
+	// A minimal FIFO pool: tasks start in submission order on n
+	// goroutines fed from one channel.
+	tasks := make(chan func(), 1024)
+	for w := 0; w < 4; w++ {
+		go func() {
+			for task := range tasks {
+				task()
+			}
+		}()
+	}
+	defer close(tasks)
+
+	cfg := parallelTestConfig()
+	cfg.Metrics = telemetry.NewRegistry(nil)
+	var buf bytes.Buffer
+	cfg.Stream = stream.NewWriter(&buf)
+	cfg.Submit = func(task func()) { tasks <- task }
+	got := Run(cfg)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Submit-executor drive result differs from private-pool drive")
+	}
+	if !bytes.Equal(buf.Bytes(), refBuf.Bytes()) {
+		t.Fatalf("Submit-executor stream differs from private-pool stream (%d vs %d bytes)",
+			buf.Len(), refBuf.Len())
+	}
+}

@@ -256,6 +256,16 @@ type Result struct {
 	Inconclusive int
 	Faulted      bool
 
+	// Cancelled reports that a cooperative stop (Config.Cancel) ended
+	// the drive early. The result is still well formed: it covers the
+	// contiguous prefix of stops that finished merging, exactly the
+	// prefix a sequential drive of StopsDone stops would produce.
+	Cancelled bool
+	// StopsDone is the index one past the last merged stop — equal to
+	// Stops when the drive ran to completion, smaller when cancelled.
+	// It is the StartStop a resumed drive continues from.
+	StopsDone int
+
 	// NonResponders is ordered deterministically: by stop index in
 	// street order, then by device instantiation order within the stop
 	// (AP first, then clients, household by household). The ordering
@@ -273,6 +283,50 @@ func (r *Result) Total() int { return r.ClientsDiscovered + r.APsDiscovered }
 
 // TotalResponded reports all devices that acknowledged fake frames.
 func (r *Result) TotalResponded() int { return r.ClientsResponded + r.APsResponded }
+
+// StreamTotals expresses the result's census in the flight recorder's
+// verdict buckets — the Totals a stream record covering exactly this
+// result's stops would carry. It is the priming value for resuming a
+// cancelled drive (Config.ResumeTotals).
+func (r *Result) StreamTotals() stream.Census {
+	return stream.Census{
+		Clients:          r.ClientsDiscovered,
+		APs:              r.APsDiscovered,
+		ClientsResponded: r.ClientsResponded,
+		APsResponded:     r.APsResponded,
+		Silent:           len(r.NonResponders) - r.Inconclusive,
+		Inconclusive:     r.Inconclusive,
+	}
+}
+
+// Merge folds the result of a resumed drive into r. next must come
+// from a Run with the same spec and StartStop = r.StopsDone: r covers
+// stops [0, r.StopsDone), next covers [r.StopsDone, next.StopsDone),
+// and because NonResponders and vendor counts accumulate in street
+// order in both runs, the merged result is field-for-field identical
+// to the result of the drive that was never cancelled.
+func (r *Result) Merge(next *Result) {
+	for v, n := range next.ClientVendors {
+		r.ClientVendors[v] += n
+	}
+	for v, n := range next.APVendors {
+		r.APVendors[v] += n
+	}
+	r.ClientsDiscovered += next.ClientsDiscovered
+	r.APsDiscovered += next.APsDiscovered
+	r.ClientsResponded += next.ClientsResponded
+	r.APsResponded += next.APsResponded
+	r.Inconclusive += next.Inconclusive
+	r.NonResponders = append(r.NonResponders, next.NonResponders...)
+	r.Faulted = r.Faulted || next.Faulted
+	// The continuation owns the drive's fate and the route-wide
+	// figures (both runs model the identical full route).
+	r.Cancelled = next.Cancelled
+	r.StopsDone = next.StopsDone
+	r.Stops = next.Stops
+	r.SimPerStop = next.SimPerStop
+	r.DriveMinutes = next.DriveMinutes
+}
 
 // Config parameterises a wardrive run.
 type Config struct {
@@ -320,6 +374,36 @@ type Config struct {
 	// Progress, when non-nil, is called after each stop's results
 	// merge — always in stop order — with the running census.
 	Progress ProgressFunc
+	// Cancel, when non-nil, requests a cooperative stop when it
+	// becomes readable (conventionally: closed). Workers finish the
+	// stop they are simulating — cancellation latency is bounded by
+	// one stop per worker — no new stops start, and Run returns a
+	// partial, well-formed Result covering the contiguous prefix of
+	// merged stops, with Cancelled set. If a stream is attached, a
+	// single trailer record (Cancelled: true) marks the cut, so a
+	// consumer can tell a deliberate partial drive from a severed
+	// pipe.
+	Cancel <-chan struct{}
+	// Submit, when non-nil, dispatches each stop's simulation to an
+	// external executor — the politewifid daemon's shared global
+	// worker pool — instead of the per-run pool Workers configures.
+	// The executor must eventually run every submitted task, in any
+	// order and with any concurrency, and must start a job's tasks in
+	// submission order (FIFO); Run blocks until its own tasks finish.
+	// Because per-stop RNGs are pre-forked and shards merge in stop
+	// order, the census, telemetry, and stream bytes are identical to
+	// a run on a private pool.
+	Submit func(task func())
+	// StartStop resumes a drive mid-way: stops before it are built
+	// (their RNG forks are consumed so the seed stream stays aligned)
+	// but not simulated or emitted. Combined with ResumeTotals — the
+	// StreamTotals of the result being resumed — the records streamed
+	// by the resumed run are byte-identical to the records the
+	// uncancelled drive would have emitted for the same stops.
+	StartStop int
+	// ResumeTotals primes the stream's running totals when resuming
+	// (zero for a fresh drive).
+	ResumeTotals stream.Census
 }
 
 // DefaultConfig is the full-scale study configuration.
@@ -376,12 +460,33 @@ func Run(cfg Config) *Result {
 		rngs[i] = rootRNG.Fork()
 	}
 
+	start := cfg.StartStop
+	if start < 0 {
+		start = 0
+	}
+	if start > len(stops) {
+		start = len(stops)
+	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(stops) {
-		workers = len(stops)
+	if workers > len(stops)-start {
+		workers = len(stops) - start
+	}
+
+	// cancelled polls the cooperative stop signal without blocking.
+	cancelled := func() bool {
+		if cfg.Cancel == nil {
+			return false
+		}
+		select {
+		case <-cfg.Cancel:
+			return true
+		default:
+			return false
+		}
 	}
 
 	// Ordered emission: shards fold into the result, registry, tracer
@@ -391,7 +496,7 @@ func Run(cfg Config) *Result {
 	// at every worker count, which is what makes the stream bytes, the
 	// merged registry, and the merged trace worker-count-invariant.
 	var totalSim eventsim.Time
-	var totals stream.Census
+	totals := cfg.ResumeTotals
 	emit := func(i int, sh *stopResult) {
 		res.absorb(sh)
 		if cfg.Metrics != nil {
@@ -433,12 +538,40 @@ func Run(cfg Config) *Result {
 			})
 		}
 	}
-	merger := &orderedMerger{pending: make(map[int]*stopResult), emit: emit}
-	if workers <= 1 {
-		for i := range stops {
+	merger := &orderedMerger{next: start, pending: make(map[int]*stopResult), emit: emit}
+	switch {
+	case cfg.Submit != nil:
+		// External executor: the politewifid shared pool. Tasks are
+		// submitted in street order; the pool starts them FIFO, so on
+		// cancellation the simulated set is a prefix of the submitted
+		// set and the merged result stays contiguous. A task that
+		// observes the cancel before simulating skips its stop — it
+		// was queued, not running, so skipping keeps cancellation
+		// latency bounded by the stops already in flight.
+		var wg sync.WaitGroup
+		for i := start; i < len(stops); i++ {
+			if cancelled() {
+				break
+			}
+			wg.Add(1)
+			i := i
+			cfg.Submit(func() {
+				defer wg.Done()
+				if cancelled() {
+					return
+				}
+				merger.complete(i, runStop(rngs[i], stops[i], cfg))
+			})
+		}
+		wg.Wait()
+	case workers <= 1:
+		for i := start; i < len(stops); i++ {
+			if cancelled() {
+				break
+			}
 			merger.complete(i, runStop(rngs[i], stops[i], cfg))
 		}
-	} else {
+	default:
 		jobs := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -450,11 +583,32 @@ func Run(cfg Config) *Result {
 				}
 			}()
 		}
-		for i := range stops {
-			jobs <- i
+	feed:
+		for i := start; i < len(stops); i++ {
+			if cancelled() {
+				break
+			}
+			select {
+			case jobs <- i:
+			case <-cfg.Cancel:
+				// Workers drain the stop they hold and exit; nothing
+				// else is dispatched. (A nil Cancel blocks this arm
+				// forever, so the select degenerates to the send.)
+				break feed
+			}
 		}
 		close(jobs)
 		wg.Wait()
+	}
+
+	res.StopsDone = merger.done()
+	res.Cancelled = res.StopsDone < len(stops)
+	if res.Cancelled && cfg.Stream != nil {
+		// One well-formed trailer instead of dying mid-record: the
+		// stream ends with the final totals and an explicit marker, so
+		// a fold can distinguish "drive cancelled after k stops" from
+		// "pipe severed after k records".
+		_ = cfg.Stream.Write(stream.Trailer(res.StopsDone, len(stops), totals))
 	}
 
 	res.SimPerStop = cfg.DwellPerChannel * eventsim.Time(len(scanPlan))
@@ -483,6 +637,15 @@ type orderedMerger struct {
 	next    int
 	pending map[int]*stopResult
 	emit    func(i int, sh *stopResult)
+}
+
+// done reports the index one past the last emitted stop — the length
+// of the contiguous merged prefix. Call it only after all workers have
+// drained.
+func (m *orderedMerger) done() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.next
 }
 
 func (m *orderedMerger) complete(i int, sh *stopResult) {

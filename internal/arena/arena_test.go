@@ -1,0 +1,76 @@
+package arena
+
+import "testing"
+
+func TestAllocDisjoint(t *testing.T) {
+	a := New()
+	x := a.Alloc(16)
+	y := a.Alloc(16)
+	for i := range x {
+		x[i] = 0xaa
+	}
+	for i := range y {
+		y[i] = 0x55
+	}
+	for i, b := range x {
+		if b != 0xaa {
+			t.Fatalf("x[%d] clobbered: %#x", i, b)
+		}
+	}
+	if cap(x) != 16 {
+		t.Fatalf("cap(x) = %d, want 16 (appends must not overlap neighbours)", cap(x))
+	}
+}
+
+func TestChunkReuseAcrossReset(t *testing.T) {
+	a := New()
+	for i := 0; i < 1000; i++ {
+		_ = a.Alloc(200)
+	}
+	before := a.Footprint()
+	if before == 0 {
+		t.Fatal("no chunks allocated")
+	}
+	for round := 0; round < 5; round++ {
+		a.Reset()
+		for i := 0; i < 1000; i++ {
+			buf := a.Alloc(200)
+			if len(buf) != 200 {
+				t.Fatalf("len = %d", len(buf))
+			}
+		}
+	}
+	if a.Footprint() != before {
+		t.Fatalf("footprint grew across identical rounds: %d -> %d", before, a.Footprint())
+	}
+}
+
+func TestOversizedAlloc(t *testing.T) {
+	a := New()
+	big := a.Alloc(3 * chunkSize)
+	if len(big) != 3*chunkSize {
+		t.Fatalf("len = %d", len(big))
+	}
+	small := a.Alloc(8)
+	if len(small) != 8 {
+		t.Fatalf("len = %d", len(small))
+	}
+	a.Reset()
+	// The oversized chunk is reusable for another oversized request.
+	before := a.Footprint()
+	_ = a.Alloc(3 * chunkSize)
+	if a.Footprint() != before {
+		t.Fatalf("oversized chunk not reused: %d -> %d", before, a.Footprint())
+	}
+}
+
+func BenchmarkAlloc(b *testing.B) {
+	a := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%10000 == 0 {
+			a.Reset()
+		}
+		_ = a.Alloc(64)
+	}
+}

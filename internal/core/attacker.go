@@ -47,6 +47,16 @@ type Attacker struct {
 	handlers        []func(f dot11.Frame, rx radio.Reception)
 	corruptHandlers []func(rx radio.Reception)
 
+	// Zero-alloc sniffing and injection state: dec parses each
+	// reception into pooled per-type structs (see RetainFrames),
+	// wireScratch backs serialization (the medium copies transmitted
+	// bytes), and the canonical fake frames are reused across injects.
+	dec          dot11.Decoder
+	retainFrames bool
+	wireScratch  []byte
+	nullFrame    dot11.Data
+	rtsFrame     dot11.RTS
+
 	// Stats.
 	Injected     uint64
 	InjectDrops  uint64 // transmitter busy
@@ -86,6 +96,13 @@ func (a *Attacker) OnCorrupt(h func(rx radio.Reception)) {
 	a.corruptHandlers = append(a.corruptHandlers, h)
 }
 
+// RetainFrames makes every OnFrame callback receive a freshly
+// allocated frame it may keep indefinitely. By default frames are
+// decoded into pooled structs that are only valid for the duration of
+// the callback — consumers that hand frames to another goroutine (the
+// concurrent scanner's sniffer ring) must opt out of pooling.
+func (a *Attacker) RetainFrames() { a.retainFrames = true }
+
 func (a *Attacker) onReceive(rx radio.Reception) {
 	if !rx.FCSOK {
 		a.FCSErrors++
@@ -94,7 +111,15 @@ func (a *Attacker) onReceive(rx radio.Reception) {
 		}
 		return
 	}
-	f, err := dot11.Decode(rx.Data)
+	var (
+		f   dot11.Frame
+		err error
+	)
+	if a.retainFrames {
+		f, err = dot11.Decode(rx.Data)
+	} else {
+		f, err = a.dec.Decode(rx.Data)
+	}
 	if err != nil {
 		return
 	}
@@ -130,11 +155,14 @@ var InjectionRate = phy.Rate24
 // Inject serializes and transmits an arbitrary frame, returning the
 // time the transmission ends.
 func (a *Attacker) Inject(f dot11.Frame) (eventsim.Time, error) {
-	wire, err := dot11.Serialize(f)
+	wire, err := dot11.AppendSerialize(a.wireScratch[:0], f)
 	if err != nil {
 		return 0, err
 	}
-	a.Radio.SetNextTxLabel("inject " + f.Control().Name())
+	a.wireScratch = wire[:0]
+	if a.Radio.Medium().Tracer() != nil {
+		a.Radio.SetNextTxLabel("inject " + f.Control().Name())
+	}
 	end, err := a.Radio.Transmit(wire, a.Rate)
 	if err != nil {
 		a.InjectDrops++
@@ -146,9 +174,17 @@ func (a *Attacker) Inject(f dot11.Frame) (eventsim.Time, error) {
 
 // InjectNull sends the paper's canonical fake frame: an unencrypted
 // null-function data frame whose only valid field is the target's
-// address.
+// address. The frame struct is reused across injections — the medium
+// copies the serialized bytes before Inject returns.
 func (a *Attacker) InjectNull(target dot11.MAC) (eventsim.Time, error) {
-	return a.Inject(dot11.NewNullFrame(target, a.MAC, a.MAC, a.nextSeq()))
+	a.nullFrame = dot11.Data{
+		Header: dot11.Header{
+			Addr1: target, Addr2: a.MAC, Addr3: a.MAC,
+			Seq: dot11.SequenceControl{Number: a.nextSeq()},
+		},
+		Null: true,
+	}
+	return a.Inject(&a.nullFrame)
 }
 
 // InjectRTS sends a fake request-to-send. Control frames cannot be
@@ -160,11 +196,12 @@ func (a *Attacker) InjectRTS(target dot11.MAC) (eventsim.Time, error) {
 	if us > 32767 {
 		us = 32767
 	}
-	return a.Inject(&dot11.RTS{
+	a.rtsFrame = dot11.RTS{
 		RA:       target,
 		TA:       a.MAC,
 		Duration: uint16(us),
-	})
+	}
+	return a.Inject(&a.rtsFrame)
 }
 
 // InjectDeauth forges a deauthentication frame that claims to come

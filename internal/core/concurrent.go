@@ -102,6 +102,10 @@ const (
 // attacker's medium must only be driven through the bridge from now
 // on.
 func NewConcurrentScanner(a *Attacker, bridge *rt.Bridge) *ConcurrentScanner {
+	// The sniffer tap ships frames across a channel to worker
+	// goroutines, so they must survive past the OnFrame callback —
+	// opt out of the attacker's pooled decoding.
+	a.RetainFrames()
 	s := &ConcurrentScanner{
 		attacker:        a,
 		bridge:          bridge,
@@ -149,6 +153,7 @@ func (s *ConcurrentScanner) Run(simDuration eventsim.Time) Tally {
 		s.attacker.OnFrame(func(f dot11.Frame, rx radio.Reception) {
 			ev := frameEvent{frame: f, rx: rx, ch: s.attacker.Radio.Channel()}
 			select {
+			//politevet:allow bufreuse(the concurrent scanner's medium never has a stop arena — NewConcurrentScanner sets RetainFrames and world.Run uses the sequential Scanner — so rx.Data here is a per-transmission allocation the consumer may keep)
 			case s.frameCh <- ev:
 				s.metrics.FrameChDepth.SetInt(len(s.frameCh))
 			default:

@@ -13,26 +13,31 @@ import (
 // HMAC-SHA1, as WPA2 does for the pairwise master key
 // (PMK = PBKDF2(passphrase, ssid, 4096, 32)).
 func PBKDF2(password, salt []byte, iter, keyLen int) []byte {
-	prf := func(data []byte) []byte {
-		h := hmac.New(sha1.New, password)
-		h.Write(data)
-		return h.Sum(nil)
-	}
-	hLen := sha1.Size
+	// One keyed HMAC for the whole derivation: Reset restores the
+	// keyed state and Sum appends into a reused buffer, so the 4096
+	// iterations per block run without per-iteration allocation.
+	h := hmac.New(sha1.New, password)
+	hLen := h.Size()
 	numBlocks := (keyLen + hLen - 1) / hLen
-	var dk []byte
+	dk := make([]byte, 0, numBlocks*hLen)
+	u := make([]byte, 0, hLen)
 	for block := 1; block <= numBlocks; block++ {
 		var idx [4]byte
 		binary.BigEndian.PutUint32(idx[:], uint32(block))
-		u := prf(append(append([]byte(nil), salt...), idx[:]...))
-		t := append([]byte(nil), u...)
+		h.Reset()
+		h.Write(salt)
+		h.Write(idx[:])
+		u = h.Sum(u[:0])
+		dk = append(dk, u...)
+		t := dk[len(dk)-hLen:]
 		for i := 1; i < iter; i++ {
-			u = prf(u)
+			h.Reset()
+			h.Write(u)
+			u = h.Sum(u[:0])
 			for j := range t {
 				t[j] ^= u[j]
 			}
 		}
-		dk = append(dk, t...)
 	}
 	return dk[:keyLen]
 }

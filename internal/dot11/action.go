@@ -57,7 +57,7 @@ func (f *Action) DecodeFromBytes(data []byte) error {
 	}
 	f.Category = ActionCategory(rest[0])
 	f.Code = rest[1]
-	f.Body = append([]byte(nil), rest[2:]...)
+	f.Body = rest[2:] // aliases the input; retainers must copy
 	return nil
 }
 

@@ -28,11 +28,22 @@ func FCS(data []byte) uint32 {
 
 // Serialize renders a frame to wire bytes with the FCS appended.
 func Serialize(f Frame) ([]byte, error) {
-	b, err := f.AppendTo(nil)
+	return AppendSerialize(nil, f)
+}
+
+// AppendSerialize appends the frame's wire bytes (including FCS) to
+// dst and returns the extended slice. Pass a reusable buffer sliced
+// to zero length (buf[:0]) to serialize without allocating — the hot
+// paths in radio/mac/core keep one scratch buffer per station and
+// rely on the medium copying transmitted bytes out of it.
+func AppendSerialize(dst []byte, f Frame) ([]byte, error) {
+	start := len(dst)
+	b, err := f.AppendTo(dst)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	return AppendFCS(b), nil
+	fcs := FCS(b[start:])
+	return append(b, byte(fcs), byte(fcs>>8), byte(fcs>>16), byte(fcs>>24)), nil
 }
 
 // AppendFCS appends the 4-byte FCS for b to b.
@@ -66,8 +77,23 @@ func Decode(data []byte) (Frame, error) {
 	return DecodeNoFCS(body)
 }
 
-// DecodeNoFCS parses a frame whose FCS has already been stripped.
+// DecodeNoFCS parses a frame whose FCS has already been stripped into
+// a freshly allocated struct.
 func DecodeNoFCS(body []byte) (Frame, error) {
+	f, err := frameFor(body, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.DecodeFromBytes(body); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// frameFor dispatches on the Frame Control field and returns the
+// struct to decode into: dec's pooled instance when dec is non-nil, a
+// fresh allocation otherwise.
+func frameFor(body []byte, dec *Decoder) (Frame, error) {
 	if len(body) < 2 {
 		return nil, errShortFrame
 	}
@@ -75,57 +101,148 @@ func DecodeNoFCS(body []byte) (Frame, error) {
 	if fc.Version != 0 {
 		return nil, fmt.Errorf("dot11: unsupported protocol version %d", fc.Version)
 	}
-	var f Frame
 	switch fc.Type {
 	case TypeControl:
 		switch fc.Subtype {
 		case SubtypeACK:
-			f = &Ack{}
+			if dec != nil {
+				return &dec.ack, nil
+			}
+			return &Ack{}, nil
 		case SubtypeCTS:
-			f = &CTS{}
+			if dec != nil {
+				return &dec.cts, nil
+			}
+			return &CTS{}, nil
 		case SubtypeRTS:
-			f = &RTS{}
+			if dec != nil {
+				return &dec.rts, nil
+			}
+			return &RTS{}, nil
 		case SubtypePSPoll:
-			f = &PSPoll{}
+			if dec != nil {
+				return &dec.pspoll, nil
+			}
+			return &PSPoll{}, nil
 		case SubtypeBlockAckReq:
-			f = &BlockAckReq{}
+			if dec != nil {
+				return &dec.bar, nil
+			}
+			return &BlockAckReq{}, nil
 		case SubtypeBlockAck:
-			f = &BlockAck{}
+			if dec != nil {
+				return &dec.ba, nil
+			}
+			return &BlockAck{}, nil
 		default:
 			return nil, fmt.Errorf("%w: control subtype %d", ErrUnsupportedFrame, fc.Subtype)
 		}
 	case TypeManagement:
 		switch fc.Subtype {
 		case SubtypeBeacon:
-			f = &Beacon{}
+			if dec != nil {
+				return &dec.beacon, nil
+			}
+			return &Beacon{}, nil
 		case SubtypeProbeReq:
-			f = &ProbeReq{}
+			if dec != nil {
+				return &dec.probeReq, nil
+			}
+			return &ProbeReq{}, nil
 		case SubtypeProbeResp:
-			f = &ProbeResp{}
+			if dec != nil {
+				return &dec.probeResp, nil
+			}
+			return &ProbeResp{}, nil
 		case SubtypeDeauth:
-			f = &Deauth{}
+			if dec != nil {
+				return &dec.deauth, nil
+			}
+			return &Deauth{}, nil
 		case SubtypeDisassoc:
-			f = &Disassoc{}
+			if dec != nil {
+				return &dec.disassoc, nil
+			}
+			return &Disassoc{}, nil
 		case SubtypeAuth:
-			f = &Auth{}
+			if dec != nil {
+				return &dec.auth, nil
+			}
+			return &Auth{}, nil
 		case SubtypeAssocReq:
-			f = &AssocReq{}
+			if dec != nil {
+				return &dec.assocReq, nil
+			}
+			return &AssocReq{}, nil
 		case SubtypeAssocResp:
-			f = &AssocResp{}
+			if dec != nil {
+				return &dec.assocResp, nil
+			}
+			return &AssocResp{}, nil
 		case SubtypeAction:
-			f = &Action{}
+			if dec != nil {
+				return &dec.action, nil
+			}
+			return &Action{}, nil
 		default:
 			return nil, fmt.Errorf("%w: management subtype %d", ErrUnsupportedFrame, fc.Subtype)
 		}
 	case TypeData:
 		switch fc.Subtype {
 		case SubtypeData, SubtypeNull, SubtypeQoSData, SubtypeQoSNull:
-			f = &Data{}
+			if dec != nil {
+				return &dec.data, nil
+			}
+			return &Data{}, nil
 		default:
 			return nil, fmt.Errorf("%w: data subtype %d", ErrUnsupportedFrame, fc.Subtype)
 		}
 	default:
 		return nil, fmt.Errorf("%w: type %d", ErrUnsupportedFrame, fc.Type)
+	}
+}
+
+// Decoder decodes frames into a pooled instance per frame type, so a
+// steady stream of decodes allocates nothing: the returned Frame is
+// valid only until the Decoder's next decode of the same type, and —
+// like every DecodeFromBytes — aliases the input buffer. Use one
+// Decoder per station (the simulator is single-threaded per stop) and
+// only for synchronous processing; retain by copying.
+type Decoder struct {
+	ack       Ack
+	cts       CTS
+	rts       RTS
+	pspoll    PSPoll
+	bar       BlockAckReq
+	ba        BlockAck
+	beacon    Beacon
+	probeReq  ProbeReq
+	probeResp ProbeResp
+	deauth    Deauth
+	disassoc  Disassoc
+	auth      Auth
+	assocReq  AssocReq
+	assocResp AssocResp
+	action    Action
+	data      Data
+}
+
+// Decode parses a full frame including FCS into the decoder's pooled
+// instance for its type, verifying the FCS first.
+func (dec *Decoder) Decode(data []byte) (Frame, error) {
+	body, err := CheckFCS(data)
+	if err != nil {
+		return nil, err
+	}
+	return dec.DecodeNoFCS(body)
+}
+
+// DecodeNoFCS parses a frame whose FCS has already been stripped into
+// the decoder's pooled instance for its type.
+func (dec *Decoder) DecodeNoFCS(body []byte) (Frame, error) {
+	f, err := frameFor(body, dec)
+	if err != nil {
+		return nil, err
 	}
 	if err := f.DecodeFromBytes(body); err != nil {
 		return nil, err

@@ -506,10 +506,10 @@ func TestIETooLong(t *testing.T) {
 }
 
 func TestIEParseTruncated(t *testing.T) {
-	if _, err := parseIEs([]byte{0}); err == nil {
+	if _, err := parseIEsInto(nil, []byte{0}); err == nil {
 		t.Fatal("truncated IE header parsed")
 	}
-	if _, err := parseIEs([]byte{0, 5, 'a'}); err == nil {
+	if _, err := parseIEsInto(nil, []byte{0, 5, 0x61}); err == nil {
 		t.Fatal("truncated IE body parsed")
 	}
 }

@@ -20,7 +20,13 @@ type Frame interface {
 	TransmitterAddress() MAC
 	// AppendTo appends the frame's wire representation (without FCS).
 	AppendTo(b []byte) ([]byte, error)
-	// DecodeFromBytes parses the frame from data (without FCS).
+	// DecodeFromBytes parses the frame from data (without FCS). The
+	// decoded frame aliases data — variable-length fields (payloads,
+	// protected bodies, information-element contents) point into the
+	// input buffer rather than copies, so a caller that retains the
+	// frame beyond the buffer's lifetime must copy those fields. Every
+	// field is overwritten, so a frame struct may be reused across
+	// decodes (see Decoder).
 	DecodeFromBytes(data []byte) error
 	// Info renders the Wireshark-style Info column string.
 	Info() string
@@ -347,6 +353,7 @@ func (d *Data) DecodeFromBytes(data []byte) error {
 	rest := data[headerLen:]
 	d.QoS = d.FC.Subtype&0x8 != 0
 	d.Null = d.FC.Subtype&0x4 != 0
+	d.TID, d.AckPolicy = 0, 0
 	if d.QoS {
 		if len(rest) < 2 {
 			return errShortFrame
@@ -359,7 +366,7 @@ func (d *Data) DecodeFromBytes(data []byte) error {
 	if d.Null {
 		d.Payload = nil
 	} else {
-		d.Payload = append([]byte(nil), rest...)
+		d.Payload = rest // aliases the input; retainers must copy
 	}
 	return nil
 }
@@ -440,7 +447,7 @@ func (f *Beacon) DecodeFromBytes(data []byte) error {
 	f.IntervalTU = getU16(rest[8:])
 	f.Capability = getU16(rest[10:])
 	var err error
-	f.IEs, err = parseIEs(rest[12:])
+	f.IEs, err = parseIEsInto(f.IEs[:0], rest[12:])
 	return err
 }
 
@@ -488,7 +495,7 @@ func (f *ProbeReq) DecodeFromBytes(data []byte) error {
 		return err
 	}
 	var err error
-	f.IEs, err = parseIEs(data[headerLen:])
+	f.IEs, err = parseIEsInto(f.IEs[:0], data[headerLen:])
 	return err
 }
 
@@ -546,7 +553,7 @@ func (f *ProbeResp) DecodeFromBytes(data []byte) error {
 	f.IntervalTU = getU16(rest[8:])
 	f.Capability = getU16(rest[10:])
 	var err error
-	f.IEs, err = parseIEs(rest[12:])
+	f.IEs, err = parseIEsInto(f.IEs[:0], rest[12:])
 	return err
 }
 
@@ -629,8 +636,9 @@ func (f *Deauth) DecodeFromBytes(data []byte) error {
 	if err := f.Header.decodeFrom(data); err != nil {
 		return err
 	}
+	f.Reason, f.ProtectedBody = 0, nil
 	if f.FC.Protected {
-		f.ProtectedBody = append([]byte(nil), data[headerLen:]...)
+		f.ProtectedBody = data[headerLen:] // aliases the input
 		return nil
 	}
 	if len(data) < headerLen+2 {
@@ -791,7 +799,7 @@ func (f *AssocReq) DecodeFromBytes(data []byte) error {
 	f.Capability = getU16(rest)
 	f.IntervalTU = getU16(rest[2:])
 	var err error
-	f.IEs, err = parseIEs(rest[4:])
+	f.IEs, err = parseIEsInto(f.IEs[:0], rest[4:])
 	return err
 }
 
@@ -846,7 +854,7 @@ func (f *AssocResp) DecodeFromBytes(data []byte) error {
 	f.Status = StatusCode(getU16(rest[2:]))
 	f.AID = getU16(rest[4:]) &^ 0xc000
 	var err error
-	f.IEs, err = parseIEs(rest[6:])
+	f.IEs, err = parseIEsInto(f.IEs[:0], rest[6:])
 	return err
 }
 

@@ -48,8 +48,11 @@ func appendIEs(b []byte, ies []IE) ([]byte, error) {
 	return b, nil
 }
 
-func parseIEs(data []byte) ([]IE, error) {
-	var ies []IE
+// parseIEsInto appends the elements encoded in data to ies (pass
+// ies[:0] to reuse a previous decode's backing array). Each element's
+// Data aliases the input buffer — no bytes are copied; callers that
+// outlive the buffer must copy.
+func parseIEsInto(ies []IE, data []byte) ([]IE, error) {
 	for len(data) > 0 {
 		if len(data) < 2 {
 			return nil, errShortFrame
@@ -58,7 +61,7 @@ func parseIEs(data []byte) ([]IE, error) {
 		if len(data) < 2+n {
 			return nil, errShortFrame
 		}
-		ies = append(ies, IE{ID: id, Data: append([]byte(nil), data[2:2+n]...)})
+		ies = append(ies, IE{ID: id, Data: data[2 : 2+n : 2+n]})
 		data = data[2+n:]
 	}
 	return ies, nil

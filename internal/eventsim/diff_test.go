@@ -1,0 +1,75 @@
+package eventsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWheelHeapDifferential drives the timing wheel and the retired
+// binary heap with an identical randomized schedule/cancel/ticker
+// workload and asserts the two produce the same firing sequence —
+// same timestamps, same FIFO order among ties. Horizons span
+// sub-tick deltas through overflow-heap territory.
+func TestWheelHeapDifferential(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		var fired [2][]int
+		scheds := [2]*Scheduler{
+			NewSchedulerQueue(QueueLegacyHeap),
+			NewSchedulerQueue(QueueWheel),
+		}
+		for w, s := range scheds {
+			s := s
+			w := w
+			src := rand.New(rand.NewSource(int64(trial)*7919 + 1)) //politevet:allow globalrand(same seed replayed per implementation)
+			id := 0
+			var handles []Handle
+			var step func()
+			step = func() {
+				// Each firing randomly schedules more work,
+				// cancels something, or does nothing — the mix a
+				// wardrive stop produces.
+				for k := src.Intn(4); k > 0 && id < 4000; k-- {
+					var d Time
+					switch src.Intn(6) {
+					case 0: // same-instant tie
+						d = 0
+					case 1: // sub-tick
+						d = Time(src.Intn(1024))
+					case 2: // level-0 horizon (SIFS/slot scale)
+						d = Time(src.Intn(1 << 18))
+					case 3: // level-1..2 horizon (beacon scale)
+						d = Time(src.Intn(1 << 30))
+					case 4: // level-3 horizon
+						d = Time(src.Intn(1 << 40))
+					default: // overflow territory
+						d = Time(1<<42 + src.Intn(1<<43))
+					}
+					myid := id
+					id++
+					handles = append(handles, s.After(d, func() {
+						fired[w] = append(fired[w], myid)
+						step()
+					}))
+				}
+				if len(handles) > 0 && src.Intn(3) == 0 {
+					handles[src.Intn(len(handles))].Cancel()
+				}
+			}
+			step()
+			step()
+			if err := s.RunUntil(2 << 43); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(fired[0]) != len(fired[1]) {
+			t.Fatalf("trial %d: heap fired %d events, wheel fired %d",
+				trial, len(fired[0]), len(fired[1]))
+		}
+		for i := range fired[0] {
+			if fired[0][i] != fired[1][i] {
+				t.Fatalf("trial %d: firing order diverges at %d: heap=%d wheel=%d",
+					trial, i, fired[0][i], fired[1][i])
+			}
+		}
+	}
+}

@@ -6,10 +6,37 @@
 // (the RF medium, MAC state machines, power accounting, mobility)
 // is driven from a single Scheduler so that experiments are exactly
 // reproducible from a seed.
+//
+// # Queue structure
+//
+// Pending events live in a hierarchical timing wheel (a calendar
+// queue): four levels of 256 slots whose level-0 tick is 1.024 µs, an
+// exact (time, sequence)-ordered "due" heap for events inside the
+// current tick, and an overflow heap for events beyond the wheel
+// horizon (~1.2 simulated hours). Scheduling is O(1); the due heap is
+// tiny because it only ever holds events of the current tick. Events
+// with equal timestamps fire in scheduling order (FIFO tie-break via
+// the sequence number) — the total order is identical to the retired
+// binary-heap queue, which is retained behind NewSchedulerQueue as a
+// differential-testing oracle.
+//
+// # Event pooling and cancellation semantics
+//
+// Event structs are recycled through a scheduler-owned free list, so
+// steady-state schedule/fire/reschedule cycles allocate nothing.
+// Schedule and friends therefore return a value-type Handle rather
+// than a raw event pointer. Cancellation is an O(1) tombstone:
+// Handle.Cancel marks the event dead in place and the queue is never
+// restructured. Dead events are discarded — and their structs
+// recycled — only when they surface at the head of the queue. A
+// Handle is invalidated the moment its event fires or its tombstone
+// is collected (a generation counter detects recycled structs), so
+// holding a Handle past its event's lifetime is always safe:
+// Cancel on a stale or zero Handle is a no-op and can never kill an
+// unrelated, recycled event.
 package eventsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -51,57 +78,327 @@ func (t Time) String() string {
 // insertion sequence, so two events scheduled for the same instant run
 // in the order they were scheduled. This stability is what makes the
 // simulation deterministic.
+//
+// Event structs are pooled: once an event fires (or its cancellation
+// tombstone is collected) the struct returns to the scheduler's free
+// list and may be reused for a later event. External code never holds
+// a *Event — it holds a Handle, whose generation check makes stale
+// references inert.
 type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
 	dead   bool
-	idx    int // heap index, -1 when not queued
+	gen    uint32
 	origin Origin
+	next   *Event // intrusive link: wheel slot chain or free list
 }
 
-// Time reports when the event will fire.
-func (e *Event) Time() Time { return e.at }
+// Handle refers to a scheduled event. The zero Handle refers to
+// nothing; all methods on it are safe no-ops. Handles are values —
+// copy them freely.
+type Handle struct {
+	e   *Event
+	gen uint32
+}
 
-// Cancel prevents a pending event from firing. Cancelling an event that
-// has already fired or been cancelled is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.dead = true
+// Valid reports whether the handle still refers to a pending or
+// pending-cancelled event. It turns false once the event fires or its
+// tombstone is collected.
+func (h Handle) Valid() bool { return h.e != nil && h.e.gen == h.gen }
+
+// Cancel prevents a pending event from firing: an O(1) tombstone that
+// is collected when the event surfaces at the head of the queue.
+// Cancelling an event that already fired, was already cancelled, or a
+// zero Handle is a no-op.
+func (h Handle) Cancel() {
+	if h.e != nil && h.e.gen == h.gen {
+		h.e.dead = true
 	}
 }
 
-// Cancelled reports whether Cancel has been called on the event.
-func (e *Event) Cancelled() bool { return e != nil && e.dead }
+// Cancelled reports whether the handle's event is tombstoned but not
+// yet collected. Once the event fires or the tombstone is collected
+// the handle is simply no longer Valid and Cancelled reports false.
+func (h Handle) Cancelled() bool { return h.e != nil && h.e.gen == h.gen && h.e.dead }
 
-type eventHeap []*Event
+// evHeap is a hand-rolled binary min-heap ordered by (at, seq) — the
+// scheduler's total order. It backs the wheel's due heap, the wheel's
+// overflow heap, and the legacy differential-oracle queue; avoiding
+// container/heap keeps events out of interface boxes.
+type evHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h evHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
+
+func (h *evHeap) push(e *Event) {
 	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+
+func (h *evHeap) pop() *Event {
+	q := *h
+	n := len(q)
+	if n == 0 {
+		return nil
+	}
+	top := q[0]
+	n--
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	i := 0
+	for { //politevet:allow simsleep(heap sift-down: each pass swaps toward a leaf and terminates in log n steps; no simulated time passes)
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
 }
+
+// evqueue is the pending-event structure behind a Scheduler. Both
+// implementations surface events in exact (at, seq) order.
+type evqueue interface {
+	push(e *Event)
+	min() *Event // next event without removing it; nil when empty
+	popMin() *Event
+}
+
+// Timing-wheel geometry. Level k spans deltas in
+// [2^(wheelBits·k), 2^(wheelBits·(k+1))) level-0 ticks; beyond the
+// last level events wait in the overflow heap.
+const (
+	wheelTickBits = 10 // level-0 tick = 1.024 µs
+	wheelBits     = 8
+	wheelSlots    = 1 << wheelBits
+	wheelMask     = wheelSlots - 1
+	wheelLevels   = 4
+	wheelWords    = wheelSlots / 64
+)
+
+// wheelQueue is the hierarchical timing wheel. btick is the cursor
+// tick: every event in the slots has tick(at) > btick and every event
+// in due has tick(at) <= btick, so the due heap's minimum is the
+// global minimum. Slots hold unordered intrusive chains; per-level
+// occupancy bitmaps let the cursor jump straight to the next occupied
+// slot instead of stepping tick by tick.
+type wheelQueue struct {
+	btick    uint64
+	due      evHeap
+	overflow evHeap
+	slots    [wheelLevels][wheelSlots]*Event
+	occ      [wheelLevels][wheelWords]uint64
+	count    [wheelLevels]int
+	size     int // total events: due + slots + overflow
+}
+
+func (w *wheelQueue) push(e *Event) {
+	w.size++
+	t := uint64(e.at) >> wheelTickBits
+	if t <= w.btick {
+		w.due.push(e)
+		return
+	}
+	w.place(e, t)
+}
+
+// place files a future event (tick t > btick) into the proper wheel
+// level, or the overflow heap beyond the horizon.
+func (w *wheelQueue) place(e *Event, t uint64) {
+	d := t - w.btick
+	for k := 0; k < wheelLevels; k++ {
+		if d < uint64(1)<<(wheelBits*(k+1)) {
+			shift := uint(wheelBits * k)
+			slot := (t >> shift) & wheelMask
+			e.next = w.slots[k][slot]
+			w.slots[k][slot] = e
+			w.occ[k][slot>>6] |= 1 << (slot & 63)
+			w.count[k]++
+			return
+		}
+	}
+	w.overflow.push(e)
+}
+
+func (w *wheelQueue) min() *Event {
+	for {
+		if len(w.due) > 0 {
+			return w.due[0]
+		}
+		if w.size == 0 {
+			return nil
+		}
+		w.advance()
+	}
+}
+
+func (w *wheelQueue) popMin() *Event {
+	if w.min() == nil {
+		return nil
+	}
+	w.size--
+	return w.due.pop()
+}
+
+// scan finds the next occupied slot at level k after index ik,
+// returning its wrap-aware distance (1..wheelSlots) and index. The
+// caller guarantees count[k] > 0.
+func (w *wheelQueue) scan(k int, ik uint64) (m, slot uint64) {
+	occ := &w.occ[k]
+	for off := uint64(1); off <= wheelSlots; off++ {
+		s := (ik + off) & wheelMask
+		if occ[s>>6]&(1<<(s&63)) != 0 {
+			return off, s
+		}
+	}
+	return 0, 0 // unreachable while count[k] > 0
+}
+
+// advance jumps the cursor to the earliest due slot across all levels
+// (or the overflow horizon) and cascades that slot's events downward.
+// A level-k slot's due tick is the start of its next occupied group
+// (((btick>>shift)+m)<<shift for wrap distance m), which lower-bounds
+// every tick stored there, so the cursor never passes a pending
+// event; cascading re-files each event by its own tick, which also
+// handles slots that mix a group with the one a rotation later.
+func (w *wheelQueue) advance() {
+	// First, drain current-group events parked in the cursor's own
+	// slot at levels >= 1. That state is reachable when a lower
+	// level's slot start ties with a higher-level group boundary: the
+	// cursor enters the group without cascading the higher slot. scan
+	// would misread such a slot as a full rotation away, so these
+	// events must drop to finer levels before the cursor may move.
+	// A slot can simultaneously hold events one rotation out (the
+	// placement window spans 257 group starts at the boundary), so
+	// only the current group's events are extracted.
+	for k := 1; k < wheelLevels; k++ {
+		if w.count[k] == 0 {
+			continue
+		}
+		shift := uint(wheelBits * k)
+		ik := (w.btick >> shift) & wheelMask
+		if w.occ[k][ik>>6]&(1<<(ik&63)) == 0 {
+			continue
+		}
+		g := w.btick >> shift
+		var keep *Event
+		moved := false
+		e := w.slots[k][ik]
+		w.slots[k][ik] = nil
+		for e != nil {
+			next := e.next
+			if t := uint64(e.at) >> wheelTickBits; t>>shift == g {
+				// Current group, tick > btick: re-place lands at a
+				// strictly lower level (d < 2^(wheelBits*k)).
+				e.next = nil
+				w.count[k]--
+				w.place(e, t)
+				moved = true
+			} else {
+				e.next = keep
+				keep = e
+			}
+			e = next
+		}
+		w.slots[k][ik] = keep
+		if keep == nil {
+			w.occ[k][ik>>6] &^= 1 << (ik & 63)
+		}
+		if moved {
+			return // progress made; min() re-evaluates
+		}
+	}
+	const inf = ^uint64(0)
+	best := inf
+	bestLevel := -1
+	bestSlot := uint64(0)
+	for k := 0; k < wheelLevels; k++ {
+		if w.count[k] == 0 {
+			continue
+		}
+		shift := uint(wheelBits * k)
+		ik := (w.btick >> shift) & wheelMask
+		m, slot := w.scan(k, ik)
+		due := ((w.btick >> shift) + m) << shift
+		if due < best {
+			best, bestLevel, bestSlot = due, k, slot
+		}
+	}
+	if len(w.overflow) > 0 {
+		if ot := uint64(w.overflow[0].at) >> wheelTickBits; ot < best {
+			// Jump to the overflow horizon and pull every event that
+			// now fits back into the wheel.
+			w.btick = ot
+			for len(w.overflow) > 0 {
+				t := uint64(w.overflow[0].at) >> wheelTickBits
+				if t-w.btick >= uint64(1)<<(wheelBits*wheelLevels) {
+					break
+				}
+				e := w.overflow.pop()
+				if t <= w.btick {
+					w.due.push(e)
+				} else {
+					w.place(e, t)
+				}
+			}
+			return
+		}
+	}
+	w.btick = best
+	k, slot := bestLevel, bestSlot
+	list := w.slots[k][slot]
+	w.slots[k][slot] = nil
+	w.occ[k][slot>>6] &^= 1 << (slot & 63)
+	for e := list; e != nil; {
+		next := e.next
+		e.next = nil
+		w.count[k]--
+		if t := uint64(e.at) >> wheelTickBits; t <= w.btick {
+			w.due.push(e)
+		} else {
+			w.place(e, t)
+		}
+		e = next
+	}
+}
+
+// heapQueue is the retired binary-heap pending queue, kept solely as
+// a differential-testing oracle for the timing wheel (see
+// NewSchedulerQueue).
+type heapQueue struct{ h evHeap }
+
+func (q *heapQueue) push(e *Event) { q.h.push(e) }
+func (q *heapQueue) min() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+func (q *heapQueue) popMin() *Event { return q.h.pop() }
 
 // ErrStopped is returned by Run variants when Stop was called.
 var ErrStopped = errors.New("eventsim: scheduler stopped")
@@ -113,7 +410,9 @@ var ErrStopped = errors.New("eventsim: scheduler stopped")
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	q       evqueue
+	free    *Event // recycled Event structs, chained on Event.next
+	pending int    // queued events, including uncollected tombstones
 	stopped bool
 	fired   uint64
 
@@ -134,13 +433,59 @@ type Scheduler struct {
 // slice increment on the hot path.
 type Origin uint16
 
-// NewScheduler returns a scheduler whose clock starts at zero.
-func NewScheduler() *Scheduler {
-	return &Scheduler{
+// QueueKind selects the pending-event structure behind a Scheduler.
+type QueueKind uint8
+
+const (
+	// QueueWheel is the hierarchical timing wheel — the default.
+	QueueWheel QueueKind = iota
+	// QueueLegacyHeap is the retired binary-heap queue. It is kept
+	// only as a differential-testing oracle: both queues realise the
+	// same (time, sequence) total order, and the differential tests
+	// assert that entire drives are byte-identical across the two.
+	QueueLegacyHeap
+)
+
+// NewScheduler returns a scheduler whose clock starts at zero, backed
+// by the timing wheel.
+func NewScheduler() *Scheduler { return NewSchedulerQueue(QueueWheel) }
+
+// NewSchedulerQueue returns a scheduler backed by an explicit queue
+// kind. Production code uses NewScheduler; QueueLegacyHeap exists for
+// wheel-vs-heap differential tests and benchmarks.
+func NewSchedulerQueue(kind QueueKind) *Scheduler {
+	s := &Scheduler{
 		originNames:   []string{"untagged"},
 		originIndex:   make(map[string]Origin),
 		firedByOrigin: make([]uint64, 1),
 	}
+	if kind == QueueLegacyHeap {
+		s.q = &heapQueue{}
+	} else {
+		s.q = &wheelQueue{}
+	}
+	return s
+}
+
+// alloc takes an Event struct from the free list, or mints one if the
+// pool is dry. Steady-state schedule/fire cycles never mint.
+func (s *Scheduler) alloc() *Event {
+	if e := s.free; e != nil {
+		s.free = e.next
+		e.next = nil
+		return e
+	}
+	return &Event{}
+}
+
+// recycle invalidates outstanding Handles (generation bump) and
+// returns the struct to the free list.
+func (s *Scheduler) recycle(e *Event) {
+	e.gen++
+	e.fn = nil
+	e.dead = false
+	e.next = s.free
+	s.free = e
 }
 
 // Now reports the current simulated time.
@@ -152,10 +497,10 @@ func (s *Scheduler) Now() Time { return s.now }
 // stamp observations without deadlocking on an rt.Bridge.
 func (s *Scheduler) ObservedNow() Time { return Time(s.nowAtomic.Load()) }
 
-// Len reports the number of pending (non-cancelled) events. Cancelled
-// events still occupy the queue until they surface, so this is an
-// upper bound.
-func (s *Scheduler) Len() int { return len(s.queue) }
+// Len reports the number of pending events. Cancelled events still
+// occupy the queue until their tombstones surface, so this is an
+// upper bound on live events.
+func (s *Scheduler) Len() int { return s.pending }
 
 // Fired reports how many events have executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
@@ -203,48 +548,37 @@ func (s *Scheduler) SetFireObserver(obs func(origin string, wall time.Duration),
 // Schedule runs fn at absolute time at. Scheduling in the past (or the
 // present) runs the event at the current time, after already-queued
 // events for that time.
-func (s *Scheduler) Schedule(at Time, fn func()) *Event {
+func (s *Scheduler) Schedule(at Time, fn func()) Handle {
 	return s.ScheduleTagged(0, at, fn)
 }
 
 // ScheduleTagged is Schedule with an origin label for the
 // per-origin fired-event accounting.
-func (s *Scheduler) ScheduleTagged(o Origin, at Time, fn func()) *Event {
+func (s *Scheduler) ScheduleTagged(o Origin, at Time, fn func()) Handle {
 	if at < s.now {
 		at = s.now
 	}
-	e := &Event{at: at, seq: s.seq, fn: fn, idx: -1, origin: o}
-	s.seq++
-	heap.Push(&s.queue, e)
-	if len(s.queue) > s.highWater {
-		s.highWater = len(s.queue)
-	}
-	return e
-}
-
-// reschedule pushes an already-fired event back onto the heap with a
-// fresh sequence number, reusing its struct and callback. The caller
-// must own the event and know it is not queued (idx == -1).
-func (s *Scheduler) reschedule(e *Event, at Time) {
-	if at < s.now {
-		at = s.now
-	}
+	e := s.alloc()
 	e.at = at
 	e.seq = s.seq
+	e.fn = fn
+	e.origin = o
 	s.seq++
-	heap.Push(&s.queue, e)
-	if len(s.queue) > s.highWater {
-		s.highWater = len(s.queue)
+	s.q.push(e)
+	s.pending++
+	if s.pending > s.highWater {
+		s.highWater = s.pending
 	}
+	return Handle{e: e, gen: e.gen}
 }
 
 // After runs fn after delay d.
-func (s *Scheduler) After(d Time, fn func()) *Event {
+func (s *Scheduler) After(d Time, fn func()) Handle {
 	return s.Schedule(s.now+d, fn)
 }
 
 // AfterTagged is After with an origin label.
-func (s *Scheduler) AfterTagged(o Origin, d Time, fn func()) *Event {
+func (s *Scheduler) AfterTagged(o Origin, d Time, fn func()) Handle {
 	return s.ScheduleTagged(o, s.now+d, fn)
 }
 
@@ -274,68 +608,81 @@ type Ticker struct {
 	d       Time
 	fn      func()
 	fire    func() // allocated once; re-armed every period
-	ev      *Event
+	h       Handle
 	stopped bool
 }
 
-// arm (re)schedules the ticker's event. After the first firing the
-// same Event struct is pushed back onto the heap with a fresh
-// sequence number — the ticker holds the only external reference to
-// it, so recycling is safe and each tick costs zero allocations.
+// arm (re)schedules the ticker. The fire closure is allocated once at
+// construction and the Event struct comes from the scheduler's pool,
+// so each tick costs zero allocations in steady state.
 func (t *Ticker) arm() {
-	if t.ev != nil && t.ev.idx == -1 {
-		t.ev.dead = false
-		t.s.reschedule(t.ev, t.s.now+t.d)
-		return
-	}
-	t.ev = t.s.After(t.d, t.fire)
+	t.h = t.s.After(t.d, t.fire)
 }
 
 // Stop cancels future firings.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	t.ev.Cancel()
+	t.h.Cancel()
+}
+
+// peek returns the next live event without removing it, collecting
+// (and recycling) any cancellation tombstones that have surfaced at
+// the head of the queue. This is the only point where tombstones are
+// reclaimed; Cancel itself never touches the queue.
+func (s *Scheduler) peek() *Event {
+	for {
+		e := s.q.min()
+		if e == nil {
+			return nil
+		}
+		if !e.dead {
+			return e
+		}
+		s.q.popMin()
+		s.pending--
+		s.recycle(e)
+	}
 }
 
 // Step executes the single next pending event, advancing the clock to
 // its timestamp. It reports false when the queue is empty.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.dead {
-			continue
-		}
-		s.now = e.at
-		s.nowAtomic.Store(int64(e.at))
-		s.fired++
-		s.firedByOrigin[e.origin]++
-		if obs := s.observer; obs != nil {
-			if s.observeWall {
-				start := time.Now() //politevet:allow wallclock(opt-in per-event wall profiling behind SetFireObserver measureWall; never feeds sim state)
-				e.fn()
-				obs(s.originNames[e.origin], time.Since(start)) //politevet:allow wallclock(duration of the same profiling measurement)
-			} else {
-				e.fn()
-				obs(s.originNames[e.origin], 0)
-			}
-		} else {
-			e.fn()
-		}
-		return true
+	e := s.peek()
+	if e == nil {
+		return false
 	}
-	return false
+	s.q.popMin()
+	s.pending--
+	s.now = e.at
+	s.nowAtomic.Store(int64(e.at))
+	s.fired++
+	s.firedByOrigin[e.origin]++
+	fn, origin := e.fn, e.origin
+	// Recycle before firing: fn may schedule new events that reuse
+	// this struct; any Handle to the fired event is already stale.
+	s.recycle(e)
+	if obs := s.observer; obs != nil {
+		if s.observeWall {
+			start := time.Now() //politevet:allow wallclock(opt-in per-event wall profiling behind SetFireObserver measureWall; never feeds sim state)
+			fn()
+			obs(s.originNames[origin], time.Since(start)) //politevet:allow wallclock(duration of the same profiling measurement)
+		} else {
+			fn()
+			obs(s.originNames[origin], 0)
+		}
+	} else {
+		fn()
+	}
+	return true
 }
 
 // RunUntil executes events until the clock would pass deadline, then
 // sets the clock to the deadline. Events scheduled exactly at the
 // deadline are executed.
 func (s *Scheduler) RunUntil(deadline Time) error {
-	for len(s.queue) > 0 && !s.stopped {
-		next := s.peek()
-		if next == nil {
-			break
-		}
-		if next.at > deadline {
+	for !s.stopped {
+		e := s.peek()
+		if e == nil || e.at > deadline {
 			break
 		}
 		s.Step()
@@ -369,17 +716,6 @@ func (s *Scheduler) Stop() { s.stopped = true }
 
 // Resume clears a previous Stop so the scheduler can run again.
 func (s *Scheduler) Resume() { s.stopped = false }
-
-func (s *Scheduler) peek() *Event {
-	for len(s.queue) > 0 {
-		e := s.queue[0]
-		if !e.dead {
-			return e
-		}
-		heap.Pop(&s.queue)
-	}
-	return nil
-}
 
 // RNG is the deterministic random source used throughout the
 // simulator — the only sanctioned RNG entry point; politevet's

@@ -77,10 +77,13 @@ func TestCancel(t *testing.T) {
 	if ran {
 		t.Fatal("cancelled event ran")
 	}
-	// Double-cancel and nil-cancel must not panic.
+	// Double-cancel and zero-Handle cancel must not panic.
 	e.Cancel()
-	var nilEv *Event
-	nilEv.Cancel()
+	var zero Handle
+	zero.Cancel()
+	if zero.Valid() || zero.Cancelled() {
+		t.Fatal("zero Handle reports Valid or Cancelled")
+	}
 }
 
 func TestRunUntil(t *testing.T) {

@@ -1,0 +1,12 @@
+package bufreuse_test
+
+import (
+	"testing"
+
+	"politewifi/internal/lint/analysistest"
+	"politewifi/internal/lint/bufreuse"
+)
+
+func TestBufreuse(t *testing.T) {
+	analysistest.Run(t, bufreuse.Analyzer, "a")
+}

@@ -1,11 +1,12 @@
-// Package lint is politevet's driver: it runs the five politewifi
+// Package lint is politevet's driver: it runs the six politewifi
 // invariant analyzers over type-checked packages, applies
 // //politevet:allow suppression, and validates the directives
 // themselves. The analyzers mechanically enforce what the simulator's
 // bit-identical-census guarantee rests on — no wall clock, no global
 // RNG, no unsorted map iteration into emit paths, no unguarded
-// duration narrowing, no hot-spin polling — so the invariants live in
-// CI instead of in reviewers' heads. See DESIGN.md §5e.
+// duration narrowing, no hot-spin polling, no pooled buffer escaping
+// its stop — so the invariants live in CI instead of in reviewers'
+// heads. See DESIGN.md §5e.
 package lint
 
 import (
@@ -14,6 +15,7 @@ import (
 	"sort"
 
 	"politewifi/internal/lint/analysis"
+	"politewifi/internal/lint/bufreuse"
 	"politewifi/internal/lint/durwrap"
 	"politewifi/internal/lint/globalrand"
 	"politewifi/internal/lint/load"
@@ -31,6 +33,7 @@ const DirectiveChecker = "directive"
 // Analyzers returns the politevet analyzer set in stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		bufreuse.Analyzer,
 		durwrap.Analyzer,
 		globalrand.Analyzer,
 		simsleep.Analyzer,

@@ -42,7 +42,7 @@ func (s *Station) sendEAPOL(to dot11.MAC, k *crypto80211.EAPOLKey) {
 		d.Addr1 = to
 		d.Addr3 = to
 	}
-	s.enqueue(&txJob{frame: d, needAck: true, rate: defaultDataRate})
+	s.enqueue(s.newTxJob(d, true, defaultDataRate))
 }
 
 // startHandshake begins the exchange (AP side, after association).

@@ -67,7 +67,9 @@ func (s *Station) sendFragments(to dot11.MAC, payload []byte) error {
 				}
 			}
 		}
-		s.enqueue(&txJob{frame: d, needAck: true, rate: s.DataRateFor(d.Addr1), seqSet: true})
+		j := s.newTxJob(d, true, s.DataRateFor(d.Addr1))
+		j.seqSet = true
+		s.enqueue(j)
 	}
 	return nil
 }

@@ -59,7 +59,7 @@ func (s *Station) sendPMNull(entering bool) {
 	d := dot11.NewNullFrame(s.bssid, s.Addr, s.bssid, 0)
 	d.FC.ToDS = true
 	d.FC.PowerMgmt = entering
-	s.enqueue(&txJob{frame: d, needAck: true, rate: defaultDataRate})
+	s.enqueue(s.newTxJob(d, true, defaultDataRate))
 }
 
 // PowerSaving reports whether the doze machinery is active.
@@ -168,6 +168,6 @@ func (s *Station) processBeacon(b *dot11.Beacon, rx radio.Reception) {
 		s.Stats.PSPollsSent++
 		s.psActivity()
 		poll := &dot11.PSPoll{AID: s.aid, BSSID: s.bssid, TA: s.Addr}
-		s.enqueue(&txJob{frame: poll, needAck: false, rate: defaultDataRate})
+		s.enqueue(s.newTxJob(poll, false, defaultDataRate))
 	}
 }

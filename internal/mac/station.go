@@ -61,7 +61,7 @@ type Station struct {
 	aid        uint16
 	session    *crypto80211.Session
 	assocDone  func(ok bool)
-	assocTimer *eventsim.Event
+	assocTimer eventsim.Handle
 	hs         *hsState
 
 	// AP state.
@@ -89,11 +89,31 @@ type Station struct {
 	// Transmit queue.
 	txq        []*txJob
 	txActive   *txJob
-	awaitAck   *eventsim.Event
+	awaitAck   eventsim.Handle
 	cw         int
 	retryLimit int
 
 	ps psState
+
+	// Zero-alloc hot-path state. dec parses every reception into
+	// pooled per-type frame structs (valid only until the next decode,
+	// so deferred host processing re-decodes at fire time);
+	// wireScratch backs outgoing serializations — safe to reuse
+	// because the medium copies transmitted bytes; the free lists
+	// recycle the per-event job objects with their pre-bound
+	// callbacks.
+	dec         dot11.Decoder
+	wireScratch []byte
+	ackFrame    dot11.Ack
+	beaconFrame dot11.Beacon
+	beaconIEs   []dot11.IE // cached base [SSID, rates, DSParam]
+	nBeaconIEs  int        // length of the cached base
+	rsnIE       dot11.IE   // cached RSN element (RSN networks only)
+	probeIEs    []dot11.IE // cached probe-response IEs (read-only)
+	aidScratch  []uint16
+	ackFree     *ackJob
+	procFree    *procJob
+	txFree      *txJob
 
 	// OnDeliver is invoked for every frame the upper layer accepts
 	// (decrypted payload for protected data).
@@ -158,7 +178,22 @@ func New(m *radio.Medium, rng *eventsim.RNG, cfg Config) *Station {
 	}
 	s.Radio = m.NewRadio(cfg.Name, cfg.Position, cfg.Band, cfg.Channel)
 	s.Radio.SetHandler(s.onReceive)
+	if cfg.Passphrase != "" {
+		s.rsnIE = dot11.RSNElement()
+	}
 	if cfg.Role == RoleAP {
+		// Static IE caches: beacons append TIM/RSN behind the base in
+		// place, probe responses share one read-only slice.
+		s.beaconIEs = append(make([]dot11.IE, 0, 5),
+			dot11.SSIDElement(s.ssid),
+			dot11.RatesElement(6, 12, 24, 54),
+			dot11.DSParamElement(uint8(cfg.Channel)),
+		)
+		s.nBeaconIEs = len(s.beaconIEs)
+		s.probeIEs = []dot11.IE{
+			dot11.SSIDElement(s.ssid),
+			dot11.DSParamElement(uint8(cfg.Channel)),
+		}
 		s.tsfStart = m.Sched.Now()
 		interval := eventsim.Time(cfg.BeaconIntervalTU) * 1024 * eventsim.Microsecond
 		// Stagger the TSF so co-located APs don't beacon in lockstep
@@ -216,7 +251,7 @@ func (s *Station) onReceive(rx radio.Reception) {
 		s.Stats.FCSErrors++
 		return
 	}
-	f, err := dot11.Decode(rx.Data)
+	f, err := s.dec.Decode(rx.Data)
 	if err != nil {
 		if errors.Is(err, dot11.ErrBadFCS) {
 			s.Stats.FCSErrors++
@@ -276,10 +311,7 @@ func (s *Station) onReceive(rx radio.Reception) {
 	// must be ready at SIFS) and are NOT immediately acknowledged.
 	if d, ok := f.(*dot11.Data); ok && d.QoS && d.AckPolicy == dot11.AckPolicyBlockAck && ra == s.Addr {
 		s.recvBurstFrame(d)
-		frameLen := len(rx.Data)
-		s.sched.After(s.Profile.Decode.Latency(frameLen), func() {
-			s.macProcess(f, rx)
-		})
+		s.deferProcess(rx)
 		return
 	}
 
@@ -296,10 +328,52 @@ func (s *Station) onReceive(rx radio.Reception) {
 	}
 
 	// Host processing happens much later, after the decode latency.
-	frameLen := len(rx.Data)
-	s.sched.After(s.Profile.Decode.Latency(frameLen), func() {
+	s.deferProcess(rx)
+}
+
+// procJob defers host processing of one reception. The pooled frame
+// structs in s.dec are overwritten by every subsequent decode, so the
+// deferred half re-parses the wire bytes at fire time instead of
+// retaining a frame across events; rx.Data stays valid because
+// reception buffers are never reused within a stop.
+type procJob struct {
+	rx   radio.Reception
+	fn   func()
+	next *procJob
+}
+
+func (s *Station) deferProcess(rx radio.Reception) {
+	j := s.procFree
+	if j == nil {
+		j = &procJob{}
+		jj := j
+		j.fn = func() { s.fireProc(jj) }
+	} else {
+		s.procFree = j.next
+	}
+	j.rx = rx
+	s.sched.After(s.Profile.Decode.Latency(len(rx.Data)), j.fn)
+}
+
+func (s *Station) fireProc(j *procJob) {
+	rx := j.rx
+	j.rx = radio.Reception{}
+	j.next = s.procFree
+	s.procFree = j
+	if f := s.reDecode(rx); f != nil {
 		s.macProcess(f, rx)
-	})
+	}
+}
+
+// reDecode re-parses an already-FCS-verified reception into the
+// pooled decoder; nil on parse failure (cannot happen for receptions
+// that decoded in onReceive, but deferred events must not assume it).
+func (s *Station) reDecode(rx radio.Reception) dot11.Frame {
+	f, err := s.dec.DecodeNoFCS(rx.Data[:len(rx.Data)-dot11.FCSLen])
+	if err != nil {
+		return nil
+	}
+	return f
 }
 
 // observeSNR folds a reception's SNR into the per-peer link estimate
@@ -357,12 +431,41 @@ func (s *Station) updateNAV(f dot11.Frame, rx radio.Reception) {
 // the medium.
 func (s *Station) NAVBusy() bool { return s.sched.Now() < s.navUntil }
 
+// ackJob is the pooled deferred-ACK state: the SIFS-delayed transmit
+// needs only the addresses, rates and trace tag captured here — never
+// the (pooled, soon-overwritten) soliciting frame.
+type ackJob struct {
+	ta       dot11.MAC
+	rate     phy.Rate
+	solicit  dot11.FrameType
+	exchange uint64
+	fn       func()
+	next     *ackJob
+}
+
 // scheduleAck queues the PHY acknowledgement one SIFS after the end
 // of the soliciting frame.
 func (s *Station) scheduleAck(f dot11.Frame, rx radio.Reception) {
-	ta := f.TransmitterAddress()
-	solicit := f.Control().Type
-	s.sched.After(s.band.SIFS(), func() { s.transmitAck(ta, rx.Rate, false, solicit, rx.Exchange) })
+	j := s.ackFree
+	if j == nil {
+		j = &ackJob{}
+		jj := j
+		j.fn = func() { s.fireAck(jj) }
+	} else {
+		s.ackFree = j.next
+	}
+	j.ta = f.TransmitterAddress()
+	j.rate = rx.Rate
+	j.solicit = f.Control().Type
+	j.exchange = rx.Exchange
+	s.sched.After(s.band.SIFS(), j.fn)
+}
+
+func (s *Station) fireAck(j *ackJob) {
+	ta, rate, solicit, exchange := j.ta, j.rate, j.solicit, j.exchange
+	j.next = s.ackFree
+	s.ackFree = j
+	s.transmitAck(ta, rate, false, solicit, exchange)
 }
 
 // scheduleValidatedAck is the §2.2 ablation: decrypt-then-ACK. The
@@ -370,18 +473,21 @@ func (s *Station) scheduleAck(f dot11.Frame, rx radio.Reception) {
 // microseconds past the SIFS deadline, and only if the frame was
 // genuine — by which time the transmitter has long declared loss.
 func (s *Station) scheduleValidatedAck(f dot11.Frame, rx radio.Reception) {
-	d, ok := f.(*dot11.Data)
 	ta := f.TransmitterAddress()
+	solicit := f.Control().Type
 	delay := s.Profile.Decode.Latency(len(rx.Data))
+	// Validating chipsets are the rare ablation case, so a plain
+	// closure is fine here — but it must re-decode at fire time rather
+	// than retain the pooled frame struct.
 	s.sched.After(delay, func() {
 		valid := false
-		if ok && d.FC.Protected && s.session != nil {
+		if d, ok := s.reDecode(rx).(*dot11.Data); ok && d.FC.Protected && s.session != nil {
 			cp := *d
 			cp.Payload = append([]byte(nil), d.Payload...)
 			valid = s.session.Decrypt(&cp) == nil
 		}
 		if valid {
-			s.transmitAck(ta, rx.Rate, true, f.Control().Type, rx.Exchange)
+			s.transmitAck(ta, rx.Rate, true, solicit, rx.Exchange)
 		}
 	})
 }
@@ -394,11 +500,12 @@ func (s *Station) transmitAck(ta dot11.MAC, solicitRate phy.Rate, late bool, sol
 		s.Stats.AcksMissed++
 		return
 	}
-	ack := &dot11.Ack{RA: ta}
-	wire, err := dot11.Serialize(ack)
+	s.ackFrame = dot11.Ack{RA: ta}
+	wire, err := dot11.AppendSerialize(s.wireScratch[:0], &s.ackFrame)
 	if err != nil {
 		return
 	}
+	s.wireScratch = wire[:0]
 	s.Radio.SetNextTxLabel("ACK")
 	s.Radio.SetNextTxExchange(exchange)
 	if _, err := s.Radio.Transmit(wire, phy.ControlRate(solicitRate)); err != nil {
@@ -629,7 +736,7 @@ func (s *Station) sendDeauth(to dot11.MAC, reason dot11.ReasonCode) {
 	}
 	s.Stats.DeauthsSent++
 	s.metrics.Deauths.Inc()
-	s.enqueue(&txJob{frame: d, needAck: true, rate: defaultDataRate})
+	s.enqueue(s.newTxJob(d, true, defaultDataRate))
 }
 
 // --- Beaconing and discovery (AP side) -------------------------------
@@ -638,28 +745,28 @@ func (s *Station) sendBeacon() {
 	if s.Role != RoleAP {
 		return
 	}
-	ies := []dot11.IE{
-		dot11.SSIDElement(s.ssid),
-		dot11.RatesElement(6, 12, 24, 54),
-		dot11.DSParamElement(uint8(s.Radio.Channel())),
-	}
-	var bufferedAIDs []uint16
+	// Extend the cached base IEs in place; beacons transmit directly
+	// (never queue), so one reusable frame and IE slice suffice.
+	ies := s.beaconIEs[:s.nBeaconIEs]
+	bufferedAIDs := s.aidScratch[:0]
 	for _, p := range s.clients {
 		if len(p.buffered) > 0 {
 			bufferedAIDs = append(bufferedAIDs, p.aid)
 		}
 	}
+	s.aidScratch = bufferedAIDs[:0]
 	if len(bufferedAIDs) > 0 {
 		ies = append(ies, dot11.TIMElement(0, 1, bufferedAIDs))
 	}
 	if s.passphrase != "" {
-		ies = append(ies, dot11.RSNElement())
+		ies = append(ies, s.rsnIE)
 	}
+	s.beaconIEs = ies[:s.nBeaconIEs]
 	cap := dot11.CapESS
 	if s.passphrase != "" {
 		cap |= dot11.CapPrivacy
 	}
-	b := &dot11.Beacon{
+	s.beaconFrame = dot11.Beacon{
 		Header: dot11.Header{
 			Addr1: dot11.Broadcast, Addr2: s.Addr, Addr3: s.Addr,
 			Seq: dot11.SequenceControl{Number: s.nextSeq()},
@@ -669,10 +776,11 @@ func (s *Station) sendBeacon() {
 		Capability: cap,
 		IEs:        ies,
 	}
-	wire, err := dot11.Serialize(b)
+	wire, err := dot11.AppendSerialize(s.wireScratch[:0], &s.beaconFrame)
 	if err != nil || s.Radio.Transmitting() {
 		return
 	}
+	s.wireScratch = wire[:0]
 	s.Radio.SetNextTxLabel("Beacon")
 	if _, err := s.Radio.Transmit(wire, phy.Rate6); err == nil {
 		s.Stats.BeaconsSent++
@@ -687,6 +795,8 @@ func (s *Station) processProbeReq(p *dot11.ProbeReq) {
 	if want != "" && want != s.ssid {
 		return
 	}
+	// Response frames stay per-call allocations (several can sit in
+	// the transmit queue at once) but share the read-only IE cache.
 	resp := &dot11.ProbeResp{
 		Header: dot11.Header{
 			Addr1: p.Addr2, Addr2: s.Addr, Addr3: s.Addr,
@@ -694,12 +804,9 @@ func (s *Station) processProbeReq(p *dot11.ProbeReq) {
 		Timestamp:  uint64((s.sched.Now() - s.tsfStart) / eventsim.Microsecond),
 		IntervalTU: s.ps.intervalTU,
 		Capability: dot11.CapESS,
-		IEs: []dot11.IE{
-			dot11.SSIDElement(s.ssid),
-			dot11.DSParamElement(uint8(s.Radio.Channel())),
-		},
+		IEs:        s.probeIEs,
 	}
-	s.enqueue(&txJob{frame: resp, needAck: true, rate: defaultDataRate})
+	s.enqueue(s.newTxJob(resp, true, defaultDataRate))
 }
 
 // --- Association -----------------------------------------------------
@@ -720,7 +827,7 @@ func (s *Station) Associate(bssid dot11.MAC, done func(ok bool)) {
 		},
 		Algorithm: 0, AuthSeq: 1, Status: dot11.StatusSuccess,
 	}
-	s.enqueue(&txJob{frame: auth, needAck: true, rate: defaultDataRate})
+	s.enqueue(s.newTxJob(auth, true, defaultDataRate))
 	s.assocTimer = s.sched.After(200*eventsim.Millisecond, func() {
 		// On RSN networks the join is only complete once the 4-way
 		// handshake installed keys; 802.11 association alone (e.g.
@@ -733,10 +840,8 @@ func (s *Station) Associate(bssid dot11.MAC, done func(ok bool)) {
 }
 
 func (s *Station) finishAssoc(ok bool) {
-	if s.assocTimer != nil {
-		s.assocTimer.Cancel()
-		s.assocTimer = nil
-	}
+	s.assocTimer.Cancel()
+	s.assocTimer = eventsim.Handle{}
 	if done := s.assocDone; done != nil {
 		s.assocDone = nil
 		done(ok)
@@ -762,7 +867,7 @@ func (s *Station) processAuth(a *dot11.Auth) {
 			},
 			Algorithm: 0, AuthSeq: 2, Status: dot11.StatusSuccess,
 		}
-		s.enqueue(&txJob{frame: resp, needAck: true, rate: defaultDataRate})
+		s.enqueue(s.newTxJob(resp, true, defaultDataRate))
 	case RoleClient:
 		if a.AuthSeq != 2 || a.Status != dot11.StatusSuccess || a.Addr2 != s.bssid {
 			return
@@ -775,7 +880,7 @@ func (s *Station) processAuth(a *dot11.Auth) {
 			IntervalTU: 10,
 			IEs:        []dot11.IE{dot11.SSIDElement(s.ssid)},
 		}
-		s.enqueue(&txJob{frame: req, needAck: true, rate: defaultDataRate})
+		s.enqueue(s.newTxJob(req, true, defaultDataRate))
 	}
 }
 
@@ -800,7 +905,7 @@ func (s *Station) processAssocReq(a *dot11.AssocReq) {
 		Status:     dot11.StatusSuccess,
 		AID:        p.aid,
 	}
-	s.enqueue(&txJob{frame: resp, needAck: true, rate: defaultDataRate})
+	s.enqueue(s.newTxJob(resp, true, defaultDataRate))
 	if s.passphrase != "" {
 		s.startHandshake(a.Addr2)
 	}
@@ -904,7 +1009,7 @@ func (s *Station) SendData(to dot11.MAC, payload []byte) error {
 		if p, ok := s.clients[to]; ok && p.dozing {
 			// The peer is asleep: hold the frame and let the beacon
 			// TIM announce it.
-			job := &txJob{frame: d, needAck: true, rate: s.DataRateFor(to)}
+			job := s.newTxJob(d, true, s.DataRateFor(to))
 			if len(p.buffered) < 16 {
 				p.buffered = append(p.buffered, job)
 			} else {
@@ -913,7 +1018,7 @@ func (s *Station) SendData(to dot11.MAC, payload []byte) error {
 			return nil
 		}
 	}
-	s.enqueue(&txJob{frame: d, needAck: true, rate: s.DataRateFor(d.Addr1)})
+	s.enqueue(s.newTxJob(d, true, s.DataRateFor(d.Addr1)))
 	return nil
 }
 

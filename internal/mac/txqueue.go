@@ -7,7 +7,10 @@ import (
 )
 
 // txJob is one MPDU pending transmission with DCF etiquette and
-// retry handling.
+// retry handling. Jobs are recycled through the station's free list:
+// the DCF machine schedules the same three pre-bound callbacks for a
+// job's whole life instead of minting a closure per deferral, and
+// completeTx returns the job to the pool once no event references it.
 type txJob struct {
 	frame    dot11.Frame
 	needAck  bool
@@ -15,6 +18,46 @@ type txJob struct {
 	attempts int
 	seqSet   bool
 	onDone   func(acked bool)
+
+	attemptFn func()
+	doneOKFn  func()
+	timeoutFn func()
+	next      *txJob
+}
+
+// newTxJob takes a job from the free list (or allocates one with its
+// callbacks bound) and arms it for a single MPDU.
+func (s *Station) newTxJob(f dot11.Frame, needAck bool, rate phy.Rate) *txJob {
+	j := s.txFree
+	if j == nil {
+		j = &txJob{}
+		jj := j
+		j.attemptFn = func() { s.attemptSend(jj) }
+		j.doneOKFn = func() { s.completeTx(jj, true) }
+		j.timeoutFn = func() { s.ackTimeout(jj) }
+	} else {
+		s.txFree = j.next
+		j.next = nil
+	}
+	j.frame = f
+	j.needAck = needAck
+	j.rate = rate
+	return j
+}
+
+// releaseTxJob recycles a completed job. Safe at completeTx time: the
+// ACK-await handle has been cancelled or fired, and every deferral
+// chain ends in exactly one of the three callbacks.
+func (s *Station) releaseTxJob(j *txJob) {
+	j.frame = nil
+	j.needAck = false
+	var zeroRate phy.Rate
+	j.rate = zeroRate
+	j.attempts = 0
+	j.seqSet = false
+	j.onDone = nil
+	j.next = s.txFree
+	s.txFree = j
 }
 
 // enqueue adds a job to the transmit queue and kicks the DCF machine.
@@ -38,7 +81,7 @@ func (s *Station) kickTx() {
 func (s *Station) deferAndSend(j *txJob) {
 	backoffSlots := s.rng.Intn(s.cw + 1)
 	wait := s.band.DIFS() + eventsim.Time(backoffSlots)*s.band.SlotTime()
-	s.sched.After(wait, func() { s.attemptSend(j) })
+	s.sched.After(wait, j.attemptFn)
 }
 
 func (s *Station) attemptSend(j *txJob) {
@@ -49,7 +92,7 @@ func (s *Station) attemptSend(j *txJob) {
 		// frames.
 		s.Stats.NAVDefers++
 		wait := s.navUntil - s.sched.Now() + s.band.DIFS()
-		s.sched.After(wait, func() { s.attemptSend(j) })
+		s.sched.After(wait, j.attemptFn)
 		return
 	}
 	if s.Radio.CCABusy() || s.Radio.Transmitting() {
@@ -74,11 +117,12 @@ func (s *Station) attemptSend(j *txJob) {
 			hdr.Duration = phy.NAV(s.band, j.rate)
 		}
 	}
-	wire, err := dot11.Serialize(j.frame)
+	wire, err := dot11.AppendSerialize(s.wireScratch[:0], j.frame)
 	if err != nil {
 		s.completeTx(j, false)
 		return
 	}
+	s.wireScratch = wire[:0]
 	s.Radio.SetNextTxLabel(j.frame.Control().Name())
 	end, err := s.Radio.Transmit(wire, j.rate)
 	if err != nil {
@@ -93,29 +137,29 @@ func (s *Station) attemptSend(j *txJob) {
 		s.Stats.TxRetries++
 	}
 	if !j.needAck {
-		s.sched.Schedule(end, func() { s.completeTx(j, true) })
+		s.sched.Schedule(end, j.doneOKFn)
 		return
 	}
 	// ACK timeout: SIFS + ACK airtime + propagation/processing slack.
 	timeout := end + s.band.SIFS() + phy.AckDuration(j.rate) + 15*eventsim.Microsecond
-	s.awaitAck = s.sched.Schedule(timeout, func() { s.ackTimeout(j) })
+	s.awaitAck = s.sched.Schedule(timeout, j.timeoutFn)
 }
 
 // handleAckRx resolves the pending job when its acknowledgement
 // arrives.
 func (s *Station) handleAckRx(a *dot11.Ack) {
 	j := s.txActive
-	if j == nil || s.awaitAck == nil {
+	if j == nil || !s.awaitAck.Valid() {
 		return
 	}
 	s.awaitAck.Cancel()
-	s.awaitAck = nil
+	s.awaitAck = eventsim.Handle{}
 	s.Stats.AcksReceived++
 	s.completeTx(j, true)
 }
 
 func (s *Station) ackTimeout(j *txJob) {
-	s.awaitAck = nil
+	s.awaitAck = eventsim.Handle{}
 	if j.attempts >= s.retryLimit {
 		s.Stats.TxFailed++
 		s.cw = 15
@@ -136,6 +180,7 @@ func (s *Station) completeTx(j *txJob, acked bool) {
 	if j.onDone != nil {
 		j.onDone(acked)
 	}
+	s.releaseTxJob(j)
 	s.psActivity()
 	s.kickTx()
 }

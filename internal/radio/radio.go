@@ -14,6 +14,7 @@ import (
 	"math"
 	"strconv"
 
+	"politewifi/internal/arena"
 	"politewifi/internal/eventsim"
 	"politewifi/internal/phy"
 	"politewifi/internal/telemetry"
@@ -149,6 +150,12 @@ type Medium struct {
 	shadow map[linkKey]float64
 	active map[chanKey][]*transmission
 
+	// Frame-buffer arena and free lists for the per-transmission
+	// objects; nil/empty means plain allocation (see SetArena).
+	arena   *arena.Arena
+	txFree  *transmission
+	delFree *delivery
+
 	metrics Metrics
 	tracer  *telemetry.Tracer
 	faults  FaultInjector
@@ -198,6 +205,95 @@ type transmission struct {
 	traceID  uint64 // flow ID linking tx span to rx spans; 0 untraced
 	exchange uint64 // probe-exchange ID this frame belongs to; 0 unlinked
 	label    string // semantic frame name set by the MAC/attacker layer
+
+	// Pool bookkeeping: transmissions are recycled through the
+	// medium's free list once every holder lets go. refs counts the
+	// scheduled events still pointing here — one per receiver's
+	// end-of-reception plus one for the transmitter-done event.
+	key    chanKey
+	refs   int
+	doneFn func() // pre-bound transmitter-done callback, built once
+	next   *transmission
+}
+
+// newTransmission takes a transmission from the free list (or
+// allocates one) with its done callback already bound.
+func (m *Medium) newTransmission() *transmission {
+	t := m.txFree
+	if t == nil {
+		t = &transmission{}
+		t.doneFn = t.finish
+	} else {
+		m.txFree = t.next
+		t.next = nil
+	}
+	return t
+}
+
+// releaseTx drops one reference; the last holder returns the
+// transmission to the free list.
+func (m *Medium) releaseTx(t *transmission) {
+	t.refs--
+	if t.refs > 0 {
+		return
+	}
+	t.source = nil
+	t.data = nil
+	t.label = ""
+	t.next = m.txFree
+	m.txFree = t
+}
+
+// finish is the transmitter-done callback: return the radio to idle,
+// garbage-collect the channel's active list, and drop this event's
+// reference. Bound per transmission (not per radio) because a new
+// transmission may legally start at the exact tick the previous one
+// ends, before this event fires.
+func (t *transmission) finish() {
+	r := t.source
+	if r.state == StateTX {
+		r.setState(StateIdle)
+	}
+	m := r.medium
+	m.reap(t.key)
+	m.releaseTx(t)
+}
+
+// delivery carries one receiver's pending begin/end reception events
+// with pre-bound callbacks, recycled through the medium's free list.
+// The object is released (and the transmission reference dropped) when
+// the end event fires; the begin event always precedes it.
+type delivery struct {
+	rx      *Radio
+	t       *transmission
+	rssi    float64
+	beginFn func()
+	endFn   func()
+	next    *delivery
+}
+
+func (m *Medium) newDelivery(rx *Radio, t *transmission, rssi float64) *delivery {
+	d := m.delFree
+	if d == nil {
+		d = &delivery{}
+		d.beginFn = func() { d.rx.beginReception(d.t, d.rssi) }
+		d.endFn = d.end
+	} else {
+		m.delFree = d.next
+		d.next = nil
+	}
+	d.rx, d.t, d.rssi = rx, t, rssi
+	return d
+}
+
+func (d *delivery) end() {
+	rx, t, rssi := d.rx, d.t, d.rssi
+	m := rx.medium
+	d.rx, d.t = nil, nil
+	d.next = m.delFree
+	m.delFree = d
+	rx.endReception(t, rssi)
+	m.releaseTx(t)
 }
 
 // NewMedium creates a medium on the given scheduler.
@@ -219,6 +315,16 @@ func NewMedium(sched *eventsim.Scheduler, rng *eventsim.RNG, cfg Config) *Medium
 // SetMetrics installs medium counters (see NewMetrics). The zero
 // Metrics value disables counting again.
 func (m *Medium) SetMetrics(mx Metrics) { m.metrics = mx }
+
+// SetArena installs a frame-buffer arena: transmitted bytes are copied
+// into it instead of individually allocated, and every reception's
+// Data aliases arena memory. The owner must not Reset the arena while
+// the medium's scheduler still has events to run — the wardrive resets
+// at stop teardown, after the last handler has fired. Nil (the
+// default) restores per-frame allocation, which is what long-lived
+// consumers that retain frame bytes (e.g. a concurrent sniffer ring)
+// rely on.
+func (m *Medium) SetArena(a *arena.Arena) { m.arena = a }
 
 // SetTracer installs a frame-lifecycle tracer. Transmissions get a tx
 // span on the transmitter's track and an rx span on each receiver
@@ -437,17 +543,30 @@ func (r *Radio) Transmit(data []byte, rate phy.Rate) (eventsim.Time, error) {
 		return 0, ErrTxBusy
 	}
 	air := phy.Airtime(rate, len(data))
-	t := &transmission{
-		source: r,
-		data:   append([]byte(nil), data...),
-		rate:   rate,
-		start:  now,
-		end:    now + air,
-		power:  r.txPowerDBm,
+	// Copy the caller's bytes: senders reuse their serialization
+	// scratch immediately, while receivers read these bytes at
+	// end-of-reception. The arena batches the copies per stop.
+	var buf []byte
+	if m.arena != nil {
+		buf = m.arena.Alloc(len(data))
+		copy(buf, data)
+	} else {
+		buf = append([]byte(nil), data...)
 	}
+	t := m.newTransmission()
+	t.source = r
+	t.data = buf
+	t.rate = rate
+	t.start = now
+	t.end = now + air
+	t.power = r.txPowerDBm
+	t.traceID = 0
+	t.exchange = 0
+	t.key = chanKey{r.band, r.channel}
+	t.refs = 1 // the transmitter-done event; receivers add their own
 	r.txUntil = t.end
 	r.setState(StateTX)
-	key := chanKey{r.band, r.channel}
+	key := t.key
 	m.active[key] = append(m.active[key], t)
 
 	m.metrics.Transmissions.Inc()
@@ -471,7 +590,6 @@ func (r *Radio) Transmit(data []byte, rate phy.Rate) (eventsim.Time, error) {
 		if rx == r || rx.band != r.band || rx.channel != r.channel {
 			continue
 		}
-		rx := rx
 		rssi := m.rssiAt(r, rx, t.power)
 		if m.cfg.FadingSigmaDB > 0 {
 			rssi += m.rng.Normal(0, m.cfg.FadingSigmaDB)
@@ -481,18 +599,15 @@ func (r *Radio) Transmit(data []byte, rate phy.Rate) (eventsim.Time, error) {
 			continue // below decode sensitivity; contributes only to CCA
 		}
 		delay := eventsim.Time(rx.pos.DistanceTo(r.pos) / speedOfLight * 1e9)
-		m.Sched.ScheduleTagged(m.originRx, t.start+delay, func() { rx.beginReception(t, rssi) })
-		m.Sched.ScheduleTagged(m.originRx, t.end+delay, func() { rx.endReception(t, rssi) })
+		d := m.newDelivery(rx, t, rssi)
+		t.refs++
+		m.Sched.ScheduleTagged(m.originRx, t.start+delay, d.beginFn)
+		m.Sched.ScheduleTagged(m.originRx, t.end+delay, d.endFn)
 	}
 
 	// Return the transmitter to idle and garbage-collect; PS
 	// stations re-doze later under MAC control.
-	m.Sched.ScheduleTagged(m.originTxDone, t.end, func() {
-		if r.state == StateTX {
-			r.setState(StateIdle)
-		}
-		m.reap(key)
-	})
+	m.Sched.ScheduleTagged(m.originTxDone, t.end, t.doneFn)
 	return t.end, nil
 }
 

@@ -19,7 +19,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"politewifi/internal/arena"
 	"politewifi/internal/core"
 	"politewifi/internal/dot11"
 	"politewifi/internal/eventsim"
@@ -404,6 +406,16 @@ type Config struct {
 	// ResumeTotals primes the stream's running totals when resuming
 	// (zero for a fresh drive).
 	ResumeTotals stream.Census
+	// Queue selects the event-queue implementation for every stop's
+	// scheduler. The zero value is the production timing wheel;
+	// QueueLegacyHeap exists so differential tests can replay a drive
+	// against the reference ordering.
+	Queue eventsim.QueueKind
+	// SchedStats, when true, adds wall-clock scheduler throughput
+	// instruments (sched.events_per_sec, sched.event_ns) to each
+	// stop's telemetry. Off by default: the values are host-dependent,
+	// so enabling them intentionally forfeits byte-identical streams.
+	SchedStats bool
 }
 
 // DefaultConfig is the full-scale study configuration.
@@ -704,19 +716,35 @@ func (res *Result) absorb(sh *stopResult) {
 	res.NonResponders = append(res.NonResponders, sh.nonResponders...)
 }
 
+// stopArenas pools frame-buffer arenas across stops: each in-flight
+// stop checks one out for its medium, and Reset hands the chunks to
+// the next stop instead of the garbage collector. Pool size tracks
+// the number of concurrently simulating stops (the worker count).
+var stopArenas = sync.Pool{New: func() any { return arena.New() }}
+
 // runStop simulates one neighbourhood scan into a private shard.
 func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
 	sh := &stopResult{
 		clientVendors: make(map[string]int),
 		apVendors:     make(map[string]int),
 	}
-	sched := eventsim.NewScheduler()
+	sched := eventsim.NewSchedulerQueue(cfg.Queue)
 	med := radio.NewMedium(sched, rng.Fork(), radio.Config{
 		PathLoss:        radio.LogDistance{Exponent: 2.7},
 		ShadowSigmaDB:   3,
 		FadingSigmaDB:   1,
 		CaptureMarginDB: 10,
 	})
+	// Frame bytes for the whole stop come from one pooled arena,
+	// reclaimed wholesale at teardown. Nothing below retains reception
+	// bytes past the stop: the census copies SSID strings and the
+	// shard carries only counts and formatted trace attributes.
+	ar := stopArenas.Get().(*arena.Arena)
+	med.SetArena(ar)
+	defer func() {
+		ar.Reset()
+		stopArenas.Put(ar)
+	}()
 	var macMx mac.Metrics
 	if cfg.Metrics != nil || cfg.Stream != nil {
 		sh.metrics = telemetry.NewRegistry(sched.ObservedNow)
@@ -800,6 +828,14 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
 	scanner.ProbeInterval = 2 * eventsim.Millisecond
 	scanner.ActiveScanInterval = 50 * eventsim.Millisecond
 	scanner.Start()
+	// Opt-in scheduler throughput metering (Config.SchedStats): wall
+	// time is read only around the sim loop, never inside it, and the
+	// derived instruments exist only when the caller asked to trade
+	// byte-stability for them.
+	var wallStart time.Time
+	if cfg.SchedStats && sh.metrics != nil {
+		wallStart = time.Now() //politevet:allow wallclock(opt-in throughput metering around the sim loop; never feeds simulation state)
+	}
 	// Two passes over the dual-band hop plan: devices discovered late
 	// in a channel's first dwell get their probes on the second visit.
 	for pass := 0; pass < 2; pass++ {
@@ -810,6 +846,17 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
 		}
 	}
 	scanner.Stop()
+	if cfg.SchedStats && sh.metrics != nil {
+		wallNS := time.Since(wallStart).Nanoseconds() //politevet:allow wallclock(opt-in throughput metering around the sim loop; never feeds simulation state)
+		if fired := sched.Fired(); fired > 0 && wallNS > 0 {
+			sh.metrics.Gauge("sched.events_per_sec",
+				"scheduler throughput, events per wall-clock second (opt-in; host-dependent)").
+				SetInt(int(float64(fired) / (float64(wallNS) / 1e9)))
+			sh.metrics.Gauge("sched.event_ns",
+				"mean wall-clock nanoseconds per executed event (opt-in; host-dependent)").
+				SetInt(int(wallNS / int64(fired)))
+		}
+	}
 
 	// Accumulate outcomes for the devices that actually exist here.
 	scanned := scanner.Devices()

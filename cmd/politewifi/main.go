@@ -12,15 +12,26 @@
 //	politewifi deauth  [-pmf]                forged-deauth attack vs 802.11w
 //	politewifi locate  [-dist M] [-n N]      time-of-flight ranging via ACKs
 //	politewifi stats   [-n N]                run the lab scenario, print telemetry
-//	politewifi wardrive [-scale F] [-workers N] [-faults SPEC] [-stream FILE] [-progress]  the §3 city-wide census (Table 2)
+//	politewifi wardrive [-scale F] [-workers N] [-faults SPEC] [-stream FILE] [-record FILE] [-progress]  the §3 city-wide census (Table 2)
 //	politewifi losssweep [-scale F] [-workers N]  census accuracy vs channel loss rate
 //	politewifi tail    [-fold FILE] STREAM       render a flight-recorder stream ("-" = stdin)
+//	politewifi replay  [-workers N] [-queue Q] LOG  re-run a recorded drive and diff it against a live run
+//	politewifi fuzz    [-n N] [-seed S] [-artifacts DIR]  differential scenario fuzzer over random jobspecs
 //
 // wardrive shards the drive's RF-independent stops over -workers
 // goroutines (default: all cores); the census is bit-identical for
 // every worker count. -faults injects deterministic channel
 // impairments (e.g. "loss=0.3,ack=0.1,jam=0.2,deaf=0.1"; see
 // internal/faults); losssweep repeats the drive across loss rates.
+//
+// wardrive's -record FILE captures a politewifi.framelog/v1 frame log
+// — one NDJSON record per transmission and CCA check, with the medium's
+// per-receiver outcomes — that `politewifi replay` later re-runs
+// bit-identically without re-simulating the RF medium, diffing the
+// replay against a fresh live run of the embedded jobspec. fuzz draws
+// random scenarios and asserts the determinism and record/replay
+// oracles, shrinking any failure to a minimal frame log (see
+// internal/fuzzer).
 //
 // wardrive's -stream FILE writes the flight recorder: one NDJSON
 // record per completed stop, in stop order, byte-identical at every
@@ -40,6 +51,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -53,11 +66,13 @@ import (
 	"politewifi/internal/dot11"
 	"politewifi/internal/eventsim"
 	"politewifi/internal/experiments"
+	"politewifi/internal/fuzzer"
 	"politewifi/internal/jobspec"
 	"politewifi/internal/mac"
 	"politewifi/internal/phy"
 	"politewifi/internal/power"
 	"politewifi/internal/radio"
+	"politewifi/internal/replay"
 	"politewifi/internal/telemetry"
 	"politewifi/internal/telemetry/stream"
 	"politewifi/internal/trace"
@@ -65,7 +80,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: politewifi <probe|scan|drain|sense|sifs|jam|deauth|locate|stats|wardrive|losssweep|tail> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: politewifi <probe|scan|drain|sense|sifs|jam|deauth|locate|stats|wardrive|losssweep|tail|replay|fuzz> [flags]")
 	os.Exit(2)
 }
 
@@ -215,6 +230,10 @@ func main() {
 		cmdLossSweep(args)
 	case "tail":
 		cmdTail(args)
+	case "replay":
+		cmdReplay(args)
+	case "fuzz":
+		cmdFuzz(args)
 	default:
 		usage()
 	}
@@ -231,6 +250,7 @@ func cmdWardrive(args []string) {
 	spec := jobspec.Drive()
 	spec.RegisterDriveFlags(fs)
 	streamPath := fs.String("stream", "", "stream per-stop flight-recorder records (NDJSON) to `file` (\"-\" = stdout)")
+	recordPath := fs.String("record", "", "record a frame log (politewifi.framelog/v1 NDJSON) to `file` for politewifi replay")
 	progress := fs.Bool("progress", false, "render a live progress meter on stderr")
 	tf := &telemetryFlags{}
 	tf.register(fs)
@@ -268,6 +288,24 @@ func cmdWardrive(args []string) {
 			streamFile = f
 			cfg.Stream = stream.NewWriter(f)
 		}
+	}
+	var recordFile *os.File
+	var recorder *replay.Recorder
+	if *recordPath != "" {
+		f, err := os.Create(*recordPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi:", err)
+			os.Exit(1)
+		}
+		recordFile = f
+		recorder = replay.NewRecorder(f)
+		specJSON, err := json.Marshal(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi:", err)
+			os.Exit(1)
+		}
+		recorder.SetSpec(specJSON)
+		cfg.Record = recorder
 	}
 	if *progress {
 		cfg.Progress = world.NewProgressPrinter(os.Stderr, time.Now)
@@ -307,6 +345,18 @@ func cmdWardrive(args []string) {
 			}
 			fmt.Printf("\nstreamed %d flight-recorder records to %s\n", cfg.Stream.Count(), *streamPath)
 		}
+	}
+	if recorder != nil {
+		if err := recorder.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi: record:", err)
+			os.Exit(1)
+		}
+		if err := recordFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "politewifi:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nrecorded %d frame-log records to %s (replay with: politewifi replay %s)\n",
+			recorder.Records(), *recordPath, *recordPath)
 	}
 	tf.flush()
 	if r.Run.Cancelled {
@@ -415,6 +465,146 @@ func cmdTail(args []string) {
 		}
 		fmt.Printf("folded %d per-stop deltas into %s (%d counters)\n", res.Records, *foldPath, len(rep.Counters))
 	}
+}
+
+// replayLeg is one drive execution captured for the replay diff: the
+// rendered census plus the exact bytes of the telemetry report and the
+// flight-recorder stream.
+type replayLeg struct {
+	r      *experiments.Table2Result
+	report []byte
+	stream []byte
+}
+
+// runReplayLeg executes the spec once with full capture plumbing;
+// log non-nil replays a frame log instead of simulating the medium.
+func runReplayLeg(spec jobspec.Spec, workers int, qk eventsim.QueueKind, log *replay.Log) replayLeg {
+	cfg, err := spec.WorldConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "politewifi:", err)
+		os.Exit(1)
+	}
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	cfg.Queue = qk
+	reg := telemetry.NewRegistry(nil)
+	cfg.Metrics = reg
+	var buf bytes.Buffer
+	cfg.Stream = stream.NewWriter(&buf)
+	cfg.Replay = log
+	r := experiments.Table2WithConfig(cfg)
+	if err := cfg.Stream.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "politewifi: stream:", err)
+		os.Exit(1)
+	}
+	var rep bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&rep); err != nil {
+		fmt.Fprintln(os.Stderr, "politewifi:", err)
+		os.Exit(1)
+	}
+	return replayLeg{r: r, report: rep.Bytes(), stream: buf.Bytes()}
+}
+
+// cmdReplay re-runs a recorded drive from its frame log — the medium's
+// outcomes come from the log, not from simulation — and diffs it
+// against a fresh live run of the jobspec embedded in the log's head.
+// Any disagreement exits 1: a divergence inside the replay carries the
+// record index and byte offset of the first event that no longer
+// matches; a post-run byte difference names the artifact that changed.
+// -queue replays on the timing wheel or the legacy heap; -workers
+// overrides both legs' worker count (the output must not care).
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "worker goroutines for both legs (0 = the recorded spec's count)")
+	queue := fs.String("queue", "wheel", "event queue for the replay leg: wheel or heap")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: politewifi replay [-workers N] [-queue wheel|heap] LOG")
+		os.Exit(2)
+	}
+	var qk eventsim.QueueKind
+	switch *queue {
+	case "wheel":
+		qk = eventsim.QueueWheel
+	case "heap":
+		qk = eventsim.QueueLegacyHeap
+	default:
+		fmt.Fprintf(os.Stderr, "politewifi: replay: unknown queue %q (want wheel or heap)\n", *queue)
+		os.Exit(2)
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "politewifi:", err)
+		os.Exit(1)
+	}
+	log, err := replay.Load(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "politewifi: replay:", err)
+		os.Exit(1)
+	}
+	if len(log.Spec()) == 0 {
+		fmt.Fprintln(os.Stderr, "politewifi: replay: log carries no jobspec in its head; cannot rebuild the drive")
+		os.Exit(1)
+	}
+	spec, err := jobspec.Decode(bytes.NewReader(log.Spec()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "politewifi: replay:", err)
+		os.Exit(1)
+	}
+
+	replayed := runReplayLeg(spec, *workers, qk, log)
+	if err := log.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "politewifi: replay:", err)
+		os.Exit(1)
+	}
+	live := runReplayLeg(spec, *workers, eventsim.QueueWheel, nil)
+	switch {
+	case !bytes.Equal(replayed.stream, live.stream):
+		fmt.Fprintf(os.Stderr, "politewifi: replay: flight-recorder streams differ (replay %d bytes, live %d bytes)\n",
+			len(replayed.stream), len(live.stream))
+		os.Exit(1)
+	case !bytes.Equal(replayed.report, live.report):
+		fmt.Fprintf(os.Stderr, "politewifi: replay: telemetry reports differ (replay %d bytes, live %d bytes)\n",
+			len(replayed.report), len(live.report))
+		os.Exit(1)
+	case replayed.r.Render() != live.r.Render():
+		fmt.Fprintln(os.Stderr, "politewifi: replay: census tables differ")
+		os.Exit(1)
+	}
+	fmt.Print(replayed.r.Render())
+	fmt.Printf("\nreplayed %d frame-log records across %d stops on the %s queue: census, telemetry (%d bytes) and stream (%d bytes) match the live run exactly\n",
+		log.Records(), log.Stops(), *queue, len(replayed.report), len(replayed.stream))
+}
+
+// cmdFuzz runs the differential scenario fuzzer (see internal/fuzzer):
+// random tiny jobspecs, determinism and record/replay oracles, greedy
+// shrinking of failures to minimal frame logs. Findings exit 1.
+func cmdFuzz(args []string) {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	n := fs.Int("n", 20, "scenarios to draw")
+	seed := fs.Int64("seed", 1, "campaign seed (equal seeds draw equal scenarios)")
+	dir := fs.String("artifacts", "", "write shrunk finding logs and specs to `dir`")
+	fs.Parse(args)
+
+	findings, err := fuzzer.Run(fuzzer.Options{Seed: *seed, Iterations: *n, Out: os.Stderr, ArtifactDir: *dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "politewifi: fuzz:", err)
+		os.Exit(1)
+	}
+	if len(findings) == 0 {
+		fmt.Printf("fuzz: %d scenarios, determinism and record/replay oracles held on all of them\n", *n)
+		return
+	}
+	for _, f := range findings {
+		fmt.Printf("fuzz: iteration %d failed the %s oracle\n  spec: %s\n  error: %v\n", f.Iteration, f.Oracle, f.Spec, f.Err)
+		if f.Artifact != "" {
+			fmt.Printf("  artifact: %s (%d records)\n", f.Artifact, f.Records)
+		}
+	}
+	os.Exit(1)
 }
 
 // cmdLossSweep repeats the wardrive across channel loss rates and

@@ -95,8 +95,8 @@ func (f *BlockAckReq) AppendTo(b []byte) ([]byte, error) {
 	putU16(hdr[2:], f.Duration)
 	putMAC(hdr[4:], f.RA)
 	putMAC(hdr[10:], f.TA)
-	putU16(hdr[16:], uint16(f.TID)<<12) // BAR control: TID in b12-15
-	putU16(hdr[18:], f.StartSeq<<4)
+	putU16(hdr[16:], uint16(f.TID&0xf)<<12) // BAR control: TID in b12-15
+	putU16(hdr[18:], (f.StartSeq&0xfff)<<4)
 	return append(b, hdr[:]...), nil
 }
 
@@ -146,8 +146,8 @@ func (f *BlockAck) AppendTo(b []byte) ([]byte, error) {
 	putU16(hdr[2:], f.Duration)
 	putMAC(hdr[4:], f.RA)
 	putMAC(hdr[10:], f.TA)
-	putU16(hdr[16:], uint16(f.TID)<<12|0x0004) // compressed BA
-	putU16(hdr[18:], f.StartSeq<<4)
+	putU16(hdr[16:], uint16(f.TID&0xf)<<12|0x0004) // compressed BA
+	putU16(hdr[18:], (f.StartSeq&0xfff)<<4)
 	putU64(hdr[20:], f.Bitmap)
 	return append(b, hdr[:]...), nil
 }

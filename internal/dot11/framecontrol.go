@@ -223,9 +223,12 @@ type SequenceControl struct {
 	Number   uint16 // 12 bits, modulo 4096
 }
 
-// Uint16 packs the field.
+// Uint16 packs the field. Number is masked to its 12 bits before the
+// shift (mirroring NextSeq): a counter that was advanced without
+// NextSeq's wrap must roll over on the wire instead of smearing into
+// whatever the pack's integer width leaves above the shift.
 func (sc SequenceControl) Uint16() uint16 {
-	return uint16(sc.Fragment&0xf) | sc.Number<<4
+	return uint16(sc.Fragment&0xf) | (sc.Number&0xfff)<<4
 }
 
 // ParseSequenceControl unpacks the field.

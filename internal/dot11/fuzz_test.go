@@ -1,0 +1,104 @@
+package dot11
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds serializes one frame of every type the codec dispatches on
+// (FCS stripped — the fuzz target works on frame bodies the way the
+// medium hands them to stations after the FCS coin).
+func fuzzSeeds(tb testing.TB) [][]byte {
+	ra := MustMAC("f2:6e:0b:00:00:01")
+	ta := MustMAC("ec:fa:bc:00:00:02")
+	hdr := Header{Addr1: ra, Addr2: ta, Addr3: ra, Seq: SequenceControl{Number: 7}}
+	frames := []Frame{
+		&Ack{RA: ra},
+		&CTS{RA: ra, Duration: 44},
+		&RTS{RA: ra, TA: ta, Duration: 212},
+		&PSPoll{AID: 5, BSSID: ra, TA: ta},
+		&BlockAckReq{RA: ra, TA: ta, TID: 3, StartSeq: 100},
+		&BlockAck{RA: ra, TA: ta, TID: 3, StartSeq: 100, Bitmap: 0xff},
+		&Beacon{Header: hdr, IntervalTU: 100, IEs: []IE{SSIDElement("HomeNet")}},
+		&ProbeReq{Header: hdr, IEs: []IE{SSIDElement("HomeNet")}},
+		&ProbeResp{Header: hdr, IntervalTU: 100, IEs: []IE{SSIDElement("HomeNet")}},
+		&Deauth{Header: hdr, Reason: 7},
+		&Disassoc{Header: hdr, Reason: 8},
+		&Auth{Header: hdr, Algorithm: 0, AuthSeq: 1, Status: 0},
+		&AssocReq{Header: hdr, IntervalTU: 10, IEs: []IE{SSIDElement("HomeNet")}},
+		&AssocResp{Header: hdr, Status: 0, AID: 1},
+		&Action{Header: hdr, Category: CategoryBlockAck, Code: 0, Body: []byte{3, 0x10}},
+		&Data{Header: hdr, Payload: []byte("payload")},
+	}
+	var seeds [][]byte
+	for _, f := range frames {
+		b, err := f.AppendTo(nil)
+		if err != nil {
+			tb.Fatalf("seed %T: %v", f, err)
+		}
+		seeds = append(seeds, b)
+	}
+	return seeds
+}
+
+// FuzzDecodeNoFCS drives the codec with arbitrary frame bodies and
+// holds three properties:
+//
+//   - re-encode fixpoint: anything that decodes re-encodes, and the
+//     re-encoding decodes back to the same wire bytes (generation 1 and
+//     2 encodings are equal — decode is allowed to canonicalise the
+//     input once, never to oscillate);
+//   - pooled/allocating agreement: the zero-alloc Decoder accepts,
+//     rejects and re-encodes exactly like the allocating DecodeNoFCS;
+//   - no panics: truncated or garbage bodies must come back as
+//     errShortFrame-style errors, not index panics, and Info() on any
+//     accepted frame must not crash.
+func FuzzDecodeNoFCS(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+		for _, n := range []int{1, 2, 9, 15, 23} {
+			if n < len(seed) {
+				f.Add(seed[:n])
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var pooled Decoder
+		f1, err := DecodeNoFCS(body)
+		pf, perr := pooled.DecodeNoFCS(body)
+		if err != nil {
+			if perr == nil {
+				t.Fatalf("pooled decoder accepted %x which DecodeNoFCS rejected: %v", body, err)
+			}
+			return
+		}
+		if perr != nil {
+			t.Fatalf("pooled decoder rejected %x which DecodeNoFCS accepted: %v", body, perr)
+		}
+
+		enc1, err := f1.AppendTo(nil)
+		if err != nil {
+			t.Fatalf("decoded %T failed to re-encode: %v", f1, err)
+		}
+		penc, err := pf.AppendTo(nil)
+		if err != nil {
+			t.Fatalf("pooled %T failed to re-encode: %v", pf, err)
+		}
+		if !bytes.Equal(enc1, penc) {
+			t.Fatalf("pooled decoder round-trip differs:\n  alloc  %x\n  pooled %x", enc1, penc)
+		}
+
+		f2, err := DecodeNoFCS(enc1)
+		if err != nil {
+			t.Fatalf("re-encoding of %T no longer decodes: %v\n  body %x\n  enc  %x", f1, err, body, enc1)
+		}
+		enc2, err := f2.AppendTo(nil)
+		if err != nil {
+			t.Fatalf("generation-2 %T failed to re-encode: %v", f2, err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("re-encode is not a fixpoint for %T:\n  gen1 %x\n  gen2 %x", f1, enc1, enc2)
+		}
+		_ = f1.Info()
+	})
+}

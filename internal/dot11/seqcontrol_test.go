@@ -1,0 +1,64 @@
+package dot11
+
+import "testing"
+
+// TestSequenceControlPackProperties is the exhaustive pack/unpack
+// property test for the 16-bit sequence-control field (the quick.Check
+// sample lives in dot11_test.go): every wire value survives parse→pack
+// exactly, and packing is invariant under the 12-bit sequence wrap (an
+// unwrapped counter must land on the same wire bytes NextSeq
+// arithmetic would produce — the unmasked-shift class politevet's
+// durwrap packshift check now flags at the source).
+func TestSequenceControlPackProperties(t *testing.T) {
+	for v := 0; v <= 0xffff; v++ {
+		sc := ParseSequenceControl(uint16(v))
+		if got := sc.Uint16(); got != uint16(v) {
+			t.Fatalf("ParseSequenceControl(%#04x).Uint16() = %#04x", v, got)
+		}
+		if sc.Fragment > 0xf || sc.Number > 0xfff {
+			t.Fatalf("ParseSequenceControl(%#04x) out of field range: %+v", v, sc)
+		}
+	}
+	for num := 0; num <= 0xffff; num += 7 {
+		for _, frag := range []uint8{0, 1, 0xf} {
+			wide := SequenceControl{Fragment: frag, Number: uint16(num)}
+			wrapped := SequenceControl{Fragment: frag, Number: uint16(num) & 0xfff}
+			if wide.Uint16() != wrapped.Uint16() {
+				t.Fatalf("pack not invariant under the 12-bit wrap: Number=%#x frag=%#x: %#04x != %#04x",
+					num, frag, wide.Uint16(), wrapped.Uint16())
+			}
+		}
+	}
+}
+
+// TestBlockAckPackMasked pins the same property for the Block Ack
+// control fields: out-of-range TID and an unwrapped StartSeq must
+// truncate to their field widths instead of smearing into (or past)
+// the neighbouring bits.
+func TestBlockAckPackMasked(t *testing.T) {
+	bar := &BlockAckReq{RA: MAC{1, 2, 3, 4, 5, 6}, TA: MAC{6, 5, 4, 3, 2, 1}, TID: 0x15, StartSeq: 0x1234}
+	b, err := bar.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got BlockAckReq
+	if err := got.DecodeFromBytes(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.TID != 0x15&0xf || got.StartSeq != 0x1234&0xfff {
+		t.Fatalf("BlockAckReq pack did not truncate to field widths: %+v", got)
+	}
+
+	ba := &BlockAck{RA: MAC{1, 2, 3, 4, 5, 6}, TA: MAC{6, 5, 4, 3, 2, 1}, TID: 0xff, StartSeq: 0xffff, Bitmap: 0xdeadbeef}
+	b, err = ba.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got2 BlockAck
+	if err := got2.DecodeFromBytes(b); err != nil {
+		t.Fatal(err)
+	}
+	if got2.TID != 0xf || got2.StartSeq != 0xfff || got2.Bitmap != 0xdeadbeef {
+		t.Fatalf("BlockAck pack did not truncate to field widths: %+v", got2)
+	}
+}

@@ -193,7 +193,18 @@ type Injector struct {
 	ACKDrops  uint64 // dropped ACK/CTS responses
 	JamDrops  uint64 // deliveries inside interference windows
 	DeafDrops uint64 // deliveries to dozing victims
+
+	lastDrop string // kind of the most recent CorruptRx=true, for frame logs
 }
+
+// Drop kinds reported by LastDropKind and accepted by ReplayConsult,
+// matching the faults.drops.* telemetry suffixes.
+const (
+	DropLoss = "loss"
+	DropACK  = "ack"
+	DropJam  = "jam"
+	DropDeaf = "deaf"
+)
 
 // New builds an injector from cfg, drawing every coin from rng (fork
 // it from the simulation's per-medium stream so the injector gets its
@@ -230,21 +241,48 @@ func (in *Injector) CorruptRx(src, dst *radio.Radio, data []byte, now eventsim.T
 	in.Consulted++
 	if in.jamBurst > 0 && in.noisy(now) {
 		in.JamDrops++
+		in.lastDrop = DropJam
 		return true
 	}
 	if in.deafSpan > 0 && in.deafAt(dst, now) {
 		in.DeafDrops++
+		in.lastDrop = DropDeaf
 		return true
 	}
 	if in.cfg.ACKLoss > 0 && isControlResponse(data) && in.rng.Coin(in.cfg.ACKLoss) {
 		in.ACKDrops++
+		in.lastDrop = DropACK
 		return true
 	}
 	if in.cfg.geEnabled() && in.geDrop() {
 		in.LossDrops++
+		in.lastDrop = DropLoss
 		return true
 	}
 	return false
+}
+
+// LastDropKind implements radio.FaultReplayer: it names the gate the
+// most recent CorruptRx=true tripped, so the frame log can attribute
+// the drop.
+func (in *Injector) LastDropKind() string { return in.lastDrop }
+
+// ReplayConsult implements radio.FaultReplayer: it restores one
+// recorded consultation (and its drop, if dropKind is non-empty) to
+// the statistics without spending any RNG draws, so a replayed run's
+// faults.* telemetry matches the recorded one.
+func (in *Injector) ReplayConsult(dropKind string) {
+	in.Consulted++
+	switch dropKind {
+	case DropLoss:
+		in.LossDrops++
+	case DropACK:
+		in.ACKDrops++
+	case DropJam:
+		in.JamDrops++
+	case DropDeaf:
+		in.DeafDrops++
+	}
 }
 
 // NoiseAt implements radio.FaultInjector: the modelled jammer is

@@ -74,6 +74,14 @@ type Spec struct {
 	// Only valid for drive jobs; the loss sweep composes its own
 	// fault configs per rate.
 	Faults string `json:"faults,omitempty"`
+	// ProbeIntervalUS overrides the attacker's probe-request cadence
+	// in simulated microseconds (0 keeps the world default, 2ms). The
+	// scenario fuzzer varies it to shake out timing-dependent bugs.
+	ProbeIntervalUS int `json:"probe_interval_us,omitempty"`
+	// ScanIntervalMS overrides the attacker's active-scan sweep
+	// cadence in simulated milliseconds (0 keeps the world default,
+	// 50ms).
+	ScanIntervalMS int `json:"scan_interval_ms,omitempty"`
 	// Rates lists the loss rates a losssweep visits; empty means
 	// experiments.DefaultLossRates.
 	Rates []float64 `json:"rates,omitempty"`
@@ -151,6 +159,12 @@ func (s Spec) Validate() error {
 	if s.Workers < 0 {
 		return fmt.Errorf("jobspec: workers %d must not be negative", s.Workers)
 	}
+	if s.ProbeIntervalUS < 0 {
+		return fmt.Errorf("jobspec: probe_interval_us %d must not be negative", s.ProbeIntervalUS)
+	}
+	if s.ScanIntervalMS < 0 {
+		return fmt.Errorf("jobspec: scan_interval_ms %d must not be negative", s.ScanIntervalMS)
+	}
 	if s.Faults != "" {
 		if s.Kind == KindLossSweep {
 			return fmt.Errorf("jobspec: losssweep composes its own fault configs; drop the faults field")
@@ -182,6 +196,8 @@ func (s Spec) WorldConfig() (world.Config, error) {
 	cfg.HouseholdsPerStop = s.StopSize
 	cfg.DwellPerChannel = eventsim.Time(s.DwellMS) * eventsim.Millisecond
 	cfg.Workers = s.Workers
+	cfg.ProbeInterval = eventsim.Time(s.ProbeIntervalUS) * eventsim.Microsecond
+	cfg.ActiveScanInterval = eventsim.Time(s.ScanIntervalMS) * eventsim.Millisecond
 	if s.Faults != "" {
 		fc, err := faults.ParseSpec(s.Faults)
 		if err != nil {
@@ -198,6 +214,8 @@ func (s Spec) WorldConfig() (world.Config, error) {
 func (s *Spec) RegisterDriveFlags(fs *flag.FlagSet) {
 	s.registerCommonFlags(fs)
 	fs.StringVar(&s.Faults, "faults", s.Faults, "channel fault `spec`, e.g. loss=0.3,ack=0.1,jam=0.2,deaf=0.1")
+	fs.IntVar(&s.ProbeIntervalUS, "probe-interval", s.ProbeIntervalUS, "attacker probe cadence, simulated µs (0 = default 2000)")
+	fs.IntVar(&s.ScanIntervalMS, "scan-interval", s.ScanIntervalMS, "attacker active-scan cadence, simulated ms (0 = default 50)")
 }
 
 // RegisterSweepFlags binds the loss-sweep spec's fields to the
@@ -240,6 +258,12 @@ func (s Spec) String() string {
 	}
 	if s.Faults != "" {
 		fmt.Fprintf(&b, " faults=%s", s.Faults)
+	}
+	if s.ProbeIntervalUS != 0 {
+		fmt.Fprintf(&b, " probe-interval=%dµs", s.ProbeIntervalUS)
+	}
+	if s.ScanIntervalMS != 0 {
+		fmt.Fprintf(&b, " scan-interval=%dms", s.ScanIntervalMS)
 	}
 	if len(s.Rates) > 0 {
 		fmt.Fprintf(&b, " rates=%v", s.Rates)

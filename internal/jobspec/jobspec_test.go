@@ -64,6 +64,8 @@ func TestDecodeRejects(t *testing.T) {
 		`{"kind":"losssweep","faults":"loss=0.1"}`, // faults on a sweep
 		`{"rates":[0.5]}`,                          // rates on a drive
 		`{"kind":"losssweep","rates":[1.5]}`,       // rate out of range
+		`{"probe_interval_us":-1}`,                 // negative probe cadence
+		`{"scan_interval_ms":-5}`,                  // negative scan cadence
 	} {
 		if _, err := Decode(strings.NewReader(bad)); err == nil {
 			t.Errorf("Decode(%s) succeeded, want error", bad)
@@ -98,11 +100,13 @@ func TestFlagsParse(t *testing.T) {
 	err := fs.Parse([]string{
 		"-seed", "9", "-scale", "0.05", "-stop-size", "6",
 		"-dwell", "800", "-workers", "3", "-faults", "loss=0.3",
+		"-probe-interval", "1500", "-scan-interval", "25",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Spec{Kind: KindDrive, Seed: 9, Scale: 0.05, StopSize: 6, DwellMS: 800, Workers: 3, Faults: "loss=0.3"}
+	want := Spec{Kind: KindDrive, Seed: 9, Scale: 0.05, StopSize: 6, DwellMS: 800, Workers: 3, Faults: "loss=0.3",
+		ProbeIntervalUS: 1500, ScanIntervalMS: 25}
 	if !reflect.DeepEqual(spec, want) {
 		t.Fatalf("parsed %+v, want %+v", spec, want)
 	}
@@ -114,7 +118,8 @@ func TestFlagsParse(t *testing.T) {
 // TestWorldConfig: the built world.Config carries every spec field,
 // with the fault spec parsed through the real grammar.
 func TestWorldConfig(t *testing.T) {
-	spec := Spec{Kind: KindDrive, Seed: 11, Scale: 0.1, StopSize: 5, DwellMS: 700, Workers: 2, Faults: "ack=0.25"}
+	spec := Spec{Kind: KindDrive, Seed: 11, Scale: 0.1, StopSize: 5, DwellMS: 700, Workers: 2, Faults: "ack=0.25",
+		ProbeIntervalUS: 1500, ScanIntervalMS: 25}
 	cfg, err := spec.WorldConfig()
 	if err != nil {
 		t.Fatal(err)
@@ -127,6 +132,9 @@ func TestWorldConfig(t *testing.T) {
 	}
 	if cfg.Faults == nil || cfg.Faults.ACKLoss != 0.25 {
 		t.Fatalf("faults %+v, want ACKLoss 0.25", cfg.Faults)
+	}
+	if cfg.ProbeInterval != 1500*eventsim.Microsecond || cfg.ActiveScanInterval != 25*eventsim.Millisecond {
+		t.Fatalf("attacker cadence %v/%v, want 1.5ms/25ms", cfg.ProbeInterval, cfg.ActiveScanInterval)
 	}
 
 	if _, err := (Spec{Kind: "bogus"}).WorldConfig(); err == nil {

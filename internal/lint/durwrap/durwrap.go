@@ -12,12 +12,21 @@
 //	if need := a - b; need > 0 {
 //	    dur = uint16(need / eventsim.Microsecond)
 //	}
+//
+// It also flags the sibling pack hazard: shifting an unmasked value
+// into a narrow unsigned wire field (`sc.Number<<4` packed into a
+// uint16) silently drops whatever the shift pushes past the field
+// width — the dot11.SequenceControl.Uint16 class. The sanctioned shape
+// masks to the field width before shifting, mirroring the wrap the
+// protocol defines: `(sc.Number&0xfff)<<4`.
 package durwrap
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
+	"math/bits"
 	"regexp"
 
 	"politewifi/internal/lint/analysis"
@@ -26,8 +35,9 @@ import (
 // Analyzer implements the check.
 var Analyzer = &analysis.Analyzer{
 	Name: "durwrap",
-	Doc: "flag uint8/16/32 narrowing of duration-typed values and unsigned subtraction of duration-like " +
-		"quantities without a dominating guard (the dot11.CTSFor NAV-underflow class)",
+	Doc: "flag uint8/16/32 narrowing of duration-typed values, unsigned subtraction of duration-like " +
+		"quantities without a dominating guard (the dot11.CTSFor NAV-underflow class), and unmasked " +
+		"shifts that can push bits past an unsigned wire field's width (the dot11 sequence-pack class)",
 	Run: run,
 }
 
@@ -49,6 +59,7 @@ func run(pass *analysis.Pass) error {
 			checkConversion(pass, n, stack)
 		case *ast.BinaryExpr:
 			checkSub(pass, n, stack)
+			checkShift(pass, n, stack)
 		}
 	})
 	return nil
@@ -109,6 +120,97 @@ func checkSub(pass *analysis.Pass, bin *ast.BinaryExpr, stack []ast.Node) {
 	pass.Reportf(bin.Pos(),
 		"unsigned subtraction %s on duration-like operands wraps below zero (the dot11.CTSFor NAV-underflow class); subtract in signed sim time (eventsim.Time) and clamp before narrowing, or guard with an explicit comparison",
 		types.ExprString(bin))
+}
+
+// checkShift flags `x << c` evaluated in an unsigned type of width
+// N < 64 when the shifted value can carry more than N−c significant
+// bits — packing it into the field silently drops the excess, the
+// dot11.SequenceControl.Uint16 unmasked-shift-before-pack class. A
+// mask on the operand (`(x&0xfff)<<4`), a mask on the result, a value
+// provably narrower than the room above the shift, or a dominating
+// range guard all sanction the shift.
+func checkShift(pass *analysis.Pass, bin *ast.BinaryExpr, stack []ast.Node) {
+	if bin.Op != token.SHL {
+		return
+	}
+	t := pass.TypeOf(bin)
+	width, unsigned := analysis.IsUnsigned(t)
+	if !unsigned || width == 0 || width >= 64 {
+		return
+	}
+	// A constant shiftee is range-checked by the compiler in a constant
+	// expression, and a constant bit (1 << n) is the idiomatic flag
+	// shape — neither silently truncates a runtime value.
+	if tv, ok := pass.TypesInfo.Types[bin.X]; ok && tv.Value != nil {
+		return
+	}
+	shift, ok := constUint(pass, bin.Y)
+	if !ok || shift == 0 || shift >= uint64(width) {
+		return
+	}
+	if effectiveBits(pass, bin.X) <= width-int(shift) {
+		return
+	}
+	if maskedParent(bin, stack) {
+		return
+	}
+	if guarded(pass, stack, bin.X) {
+		return
+	}
+	pass.Reportf(bin.Pos(),
+		"%s packs an unmasked value into a %d-bit field: bits above %d are silently dropped by the shift (the dot11.SequenceControl.Uint16 unmasked-shift-before-pack class); mask to the field width first: (%s & %#x) << %d",
+		types.ExprString(bin), width, width-int(shift),
+		types.ExprString(bin.X), uint64(1)<<(width-int(shift))-1, shift)
+}
+
+// constUint evaluates e as a compile-time unsigned constant.
+func constUint(pass *analysis.Pass, e ast.Expr) (uint64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Uint64Val(constant.ToInt(tv.Value))
+	return v, exact
+}
+
+// effectiveBits bounds the number of significant bits e can carry at
+// run time: constants by value, masks and modulo by their constant
+// bound, conversions and typed expressions by width. 64 means unknown.
+func effectiveBits(pass *analysis.Pass, e ast.Expr) int {
+	if v, ok := constUint(pass, e); ok {
+		return bits.Len64(v)
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return effectiveBits(pass, e.X)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.AND:
+			// x & mask: bounded by either side's bound.
+			return min(effectiveBits(pass, e.X), effectiveBits(pass, e.Y))
+		case token.SHR:
+			if c, ok := constUint(pass, e.Y); ok {
+				return max(effectiveBits(pass, e.X)-int(c), 0)
+			}
+		case token.REM:
+			// x % m for constant m is bounded by m-1.
+			if m, ok := constUint(pass, e.Y); ok && m > 0 {
+				return bits.Len64(m - 1)
+			}
+		}
+	case *ast.CallExpr:
+		if target, ok := pass.IsConversion(e); ok && len(e.Args) == 1 {
+			w := 64
+			if cw, unsigned := analysis.IsUnsigned(target); unsigned && cw > 0 {
+				w = cw
+			}
+			return min(w, effectiveBits(pass, e.Args[0]))
+		}
+	}
+	if w, unsigned := analysis.IsUnsigned(pass.TypeOf(e)); unsigned && w > 0 {
+		return w
+	}
+	return 64
 }
 
 // durationType reports whether t is a type that carries a duration:

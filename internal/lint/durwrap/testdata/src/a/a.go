@@ -89,3 +89,64 @@ func counters(sent, acked uint32) uint32 {
 func sanctioned(nav uint16) uint16 {
 	return nav - 1 //politevet:allow durwrap(fixture for a sanctioned wire-field decrement)
 }
+
+// SequenceControl mirrors the dot11 wire field for the pack cases.
+type SequenceControl struct {
+	Fragment uint8
+	Number   uint16
+}
+
+// packBuggy is the dot11.SequenceControl.Uint16 bug class: the shift
+// drops Number's bits above 12 without the protocol's modulo-4096
+// wrap ever being spelled out.
+func packBuggy(sc SequenceControl) uint16 {
+	return uint16(sc.Fragment&0xf) | sc.Number<<4 // want "sc.Number << 4 packs an unmasked value into a 16-bit field"
+}
+
+// packFixed masks to the field width before shifting.
+func packFixed(sc SequenceControl) uint16 {
+	return uint16(sc.Fragment&0xf) | (sc.Number&0xfff)<<4
+}
+
+// packBuggyWide loses the TID's high nibble through a widening
+// conversion: uint16(tid) can carry 8 bits but only 4 fit above the
+// shift.
+func packBuggyWide(tid uint8) uint16 {
+	return uint16(tid) << 12 // want "uint16\\(tid\\) << 12 packs an unmasked value into a 16-bit field"
+}
+
+// packBuggyNoWrap reintroduces the exact shape the repo fixed: no
+// mask, full-width operand.
+func packBuggyNoWrap(startSeq uint16) uint16 {
+	return startSeq << 4 // want "startSeq << 4 packs an unmasked value into a 16-bit field"
+}
+
+// packNarrowEnough widens a byte into the room above the shift; no
+// bits can fall off.
+func packNarrowEnough(flags uint8) uint16 {
+	return uint16(flags) << 8
+}
+
+// packMaskedResult truncates the result explicitly, so the wrap is
+// spelled out.
+func packMaskedResult(n uint16) uint16 {
+	return (n << 4) & 0xfff0
+}
+
+// packConstBit is the idiomatic flag shape: a constant shiftee.
+func packConstBit(aid uint16) uint16 {
+	return 1 << (aid % 8)
+}
+
+// packModBounded is bounded by the modulo before the shift.
+func packModBounded(n uint16) uint16 {
+	return (n % 4096) << 4
+}
+
+// packGuarded has a dominating range guard.
+func packGuarded(n uint16) uint16 {
+	if n > 0xfff {
+		return 0
+	}
+	return n << 4
+}

@@ -1,0 +1,300 @@
+// Frame-log record/replay: the medium can write every transmission's
+// full lifecycle (wire bytes, per-receiver arrival times and outcomes,
+// carrier-sense consultations) to a FrameRecorder, and later re-run
+// the same drive against a FrameReplayer without re-simulating the RF
+// medium at all — no path-loss math, no shadowing/fading draws, no
+// capture resolution, no FER coin, no fault consultation. Replay
+// schedules exactly the recorded event set with the same origins and
+// insertion order, bumps the same counters at the same virtual times,
+// and hands the MAC layer bit-identical Receptions, so census,
+// telemetry and stream output reproduce the recorded run byte for
+// byte. The serialized form lives in internal/replay; this file owns
+// the in-memory records and the medium hooks so the radio package
+// stays free of encoding concerns (and of an import cycle).
+
+package radio
+
+import (
+	"strconv"
+
+	"politewifi/internal/eventsim"
+	"politewifi/internal/phy"
+)
+
+// Begin-of-reception effects recorded per receiver. An empty Fx means
+// the begin event was a no-op (receiver asleep or transmitting).
+const (
+	// FxLock: receiver was unlocked and synchronised to this frame.
+	FxLock = "lock"
+	// FxSteal: this frame captured the receiver away from a weaker
+	// frame it was locked to (counts a capture win).
+	FxSteal = "steal"
+	// FxWin: the receiver's current lock survived this frame as noise
+	// (counts a capture win; this frame was never locked).
+	FxWin = "win"
+	// FxClash: neither frame was strong enough to capture — the current
+	// lock is corrupted and this frame lost (counts a collision).
+	FxClash = "clash"
+)
+
+// End-of-reception outcomes recorded per receiver. An empty Out means
+// the end event was a no-op (the receiver was locked to another frame,
+// or never locked to this one).
+const (
+	// OutUnlock: the receiver was locked to this frame but has no
+	// handler installed — it returned to idle and nothing was counted.
+	OutUnlock = "unlock"
+	// OutDeliver: the frame was surfaced to the receiver's handler
+	// (counts a delivery; FCSOK and Drop say how it fared).
+	OutDeliver = "deliver"
+)
+
+// DropSNR marks a delivery that failed the SNR-driven frame-error
+// coin. All other non-empty Drop values name a fault-injector drop
+// kind (see internal/faults: "loss", "ack", "jam", "deaf").
+const DropSNR = "snr"
+
+// FrameTx is one transmission's recorded lifecycle: what went on the
+// air and what every in-range receiver did with it. Field tags define
+// the on-wire JSON of the politewifi.framelog/v1 format.
+type FrameTx struct {
+	// Src is the transmitting radio's name (radio names are unique
+	// within a stop's medium and stable across runs).
+	Src string `json:"src"`
+	// Start and End bound the transmission in virtual time.
+	Start eventsim.Time `json:"start"`
+	End   eventsim.Time `json:"end"`
+	// Rate is the PHY rate; all fields are plain numbers/bools so the
+	// JSON round trip is exact.
+	Rate phy.Rate `json:"rate"`
+	// Data is the full frame including FCS, copied at record time (the
+	// live bytes live in a per-stop arena that is reset at teardown).
+	Data []byte `json:"data"`
+	// Label is the semantic frame name from the tracer path ("ACK",
+	// "Probe Request", ...); informational, empty when untraced.
+	Label string `json:"label,omitempty"`
+	// Exchange is the probe-exchange ID stamped on the frame at record
+	// time; informational (replay re-mints live IDs).
+	Exchange uint64 `json:"exchange,omitempty"`
+	// BelowSens counts in-range-loop receivers skipped because the
+	// (faded) RSSI was under decode sensitivity; replay restores the
+	// counter without knowing who they were.
+	BelowSens int `json:"below_sens,omitempty"`
+	// Rx holds one entry per receiver that got scheduled arrival
+	// events, in the medium's deterministic radio order.
+	Rx []FrameRx `json:"rx,omitempty"`
+}
+
+// FrameRx is one receiver's recorded arrival: when the frame reached
+// it, how strong it was, and what the begin/end events did.
+type FrameRx struct {
+	// Dst is the receiving radio's name.
+	Dst string `json:"dst"`
+	// Begin and End are the local arrival times (propagation included).
+	Begin eventsim.Time `json:"begin"`
+	End   eventsim.Time `json:"end"`
+	// RSSI is the received power in dBm after shadowing and fading.
+	RSSI float64 `json:"rssi"`
+	// Fx is the begin-of-reception effect (Fx* constants; empty no-op).
+	Fx string `json:"fx,omitempty"`
+	// Out is the end-of-reception outcome (Out* constants; empty no-op).
+	Out string `json:"out,omitempty"`
+	// FCSOK reports whether a delivered frame passed every error gate.
+	FCSOK bool `json:"fcs,omitempty"`
+	// Drop names the gate a delivered-but-corrupted frame failed:
+	// DropSNR for the FER coin, or a fault-injector kind.
+	Drop string `json:"drop,omitempty"`
+	// Consulted reports whether the fault injector was offered this
+	// delivery, so replay restores its consultation/drop statistics.
+	Consulted bool `json:"consulted,omitempty"`
+}
+
+// CCACheck is one recorded clear-channel assessment: CCABusy's answer
+// depends on lazily-drawn per-link shadowing, so replay must answer
+// from the log rather than re-derive it.
+type CCACheck struct {
+	// Src is the radio performing carrier sense.
+	Src string `json:"src"`
+	// At is the virtual time of the check.
+	At eventsim.Time `json:"at"`
+	// Busy is the recorded answer.
+	Busy bool `json:"busy,omitempty"`
+}
+
+// FrameRecorder receives the medium's frame lifecycles and CCA checks
+// in the exact order they are produced. Implementations are called
+// only from scheduler context; RecordTx is handed an object the medium
+// keeps mutating until the transmission's last event has fired, so the
+// recorder must not serialize it before the stop's sim loop finishes.
+type FrameRecorder interface {
+	RecordTx(tx *FrameTx)
+	RecordCCA(src string, at eventsim.Time, busy bool)
+}
+
+// FrameReplayer feeds a recorded drive back to the medium. ReplayTx
+// and ReplayCCA must return records in the recorded order; a false ok
+// means the log has diverged from (or run out for) the live run, at
+// which point the medium goes inert for the rest of the stop: radios
+// keep their transmit timing but nothing is delivered, so the sim
+// still terminates and the latched divergence error is the result.
+type FrameReplayer interface {
+	// ReplayTx consumes the next record, which must be a transmission
+	// matching (src, at, data, rate); on mismatch it latches a
+	// positioned divergence error and returns ok=false.
+	ReplayTx(src string, at eventsim.Time, data []byte, rate phy.Rate) (tx *FrameTx, ok bool)
+	// ReplayCCA consumes the next record, which must be a CCA check
+	// matching (src, at); on mismatch it latches and returns ok=false.
+	ReplayCCA(src string, at eventsim.Time) (busy, ok bool)
+	// Diverge latches a divergence the medium itself detected (e.g. a
+	// recorded receiver name that doesn't exist in this world).
+	Diverge(format string, args ...any)
+}
+
+// FaultReplayer is the optional fault-injector surface record/replay
+// uses for drop attribution: LastDropKind names the gate the most
+// recent CorruptRx=true tripped, and ReplayConsult restores one
+// consultation (and its drop, if any) to the injector's statistics
+// without spending RNG draws. internal/faults implements it.
+type FaultReplayer interface {
+	FaultInjector
+	LastDropKind() string
+	ReplayConsult(dropKind string)
+}
+
+// SetFrameRecorder installs a frame-log recorder. Recording observes
+// the live simulation without perturbing it: no RNG draws are added or
+// removed, so a recorded run is bit-identical to an unrecorded one.
+// Mutually exclusive with SetFrameReplayer.
+func (m *Medium) SetFrameRecorder(rec FrameRecorder) { m.recorder = rec }
+
+// SetFrameReplayer switches the medium to replay mode: Transmit and
+// CCABusy answer from the log instead of simulating the RF medium, and
+// the medium's RNG is never drawn from. Mutually exclusive with
+// SetFrameRecorder.
+func (m *Medium) SetFrameReplayer(rp FrameReplayer) { m.replayer = rp }
+
+// replayTransmit is Transmit in replay mode: validate lockstep with
+// the log, keep the transmitter's live timing/state/metrics/trace
+// exactly as the recorded run had them, and schedule the recorded
+// arrival events instead of computing propagation and power.
+func (r *Radio) replayTransmit(now eventsim.Time, data []byte, rate phy.Rate, exchange uint64) (eventsim.Time, error) {
+	m := r.medium
+	air := phy.Airtime(rate, len(data))
+	end := now + air
+	rec, ok := m.replayer.ReplayTx(r.Name, now, data, rate)
+
+	// Live-side bookkeeping happens regardless of log agreement so the
+	// MAC above keeps its timing and the run terminates.
+	r.txUntil = end
+	r.setState(StateTX)
+	m.metrics.Transmissions.Inc()
+	m.metrics.TxAirtimeUS.Add(uint64(air / eventsim.Microsecond))
+	var label string
+	var traceID uint64
+	if m.tracer != nil {
+		label = r.nextTxLabel
+		r.nextTxLabel = ""
+		if label == "" {
+			label = "frame"
+		}
+		traceID = m.tracer.NextID()
+		m.tracer.Span(r.Name, "tx "+label, now, end, traceID, exchange, map[string]string{
+			"bytes": strconv.Itoa(len(data)),
+			"rate":  rate.String(),
+		})
+	}
+	m.Sched.ScheduleTagged(m.originTxDone, end, func() {
+		if r.state == StateTX {
+			r.setState(StateIdle)
+		}
+	})
+	if !ok {
+		return end, nil // diverged: latched in the replayer, medium inert
+	}
+	if rec.End != end {
+		m.replayer.Diverge("tx from %q at %d: recorded end %d, live airtime ends %d", r.Name, now, rec.End, end)
+		return end, nil
+	}
+	for i := 0; i < rec.BelowSens; i++ {
+		m.metrics.BelowSensitivity.Inc()
+	}
+	for i := range rec.Rx {
+		e := &rec.Rx[i]
+		rx, ok := m.byName[e.Dst]
+		if !ok {
+			m.replayer.Diverge("tx from %q at %d: recorded receiver %q not in this world", r.Name, now, e.Dst)
+			return end, nil
+		}
+		m.Sched.ScheduleTagged(m.originRx, e.Begin, func() { m.replayBegin(rx, e) })
+		m.Sched.ScheduleTagged(m.originRx, e.End, func() { m.replayEnd(rx, rec, e, label, traceID, exchange) })
+	}
+	return end, nil
+}
+
+// replayBegin applies a recorded begin-of-reception effect: state
+// transitions and collision/capture counters, no RSSI comparison.
+func (m *Medium) replayBegin(rx *Radio, e *FrameRx) {
+	switch e.Fx {
+	case FxLock:
+		rx.setState(StateRX)
+	case FxSteal:
+		m.metrics.CaptureWins.Inc()
+		rx.setState(StateRX)
+	case FxWin:
+		m.metrics.CaptureWins.Inc()
+	case FxClash:
+		m.metrics.Collisions.Inc()
+	}
+}
+
+// replayEnd applies a recorded end-of-reception outcome: counters,
+// fault statistics, the rx trace span, and the handler call with a
+// Reception reconstructed from the log.
+func (m *Medium) replayEnd(rx *Radio, rec *FrameTx, e *FrameRx, label string, traceID, exchange uint64) {
+	switch e.Out {
+	case OutUnlock, OutDeliver:
+		if rx.state == StateRX {
+			rx.setState(StateIdle)
+		}
+	default:
+		return
+	}
+	if e.Out != OutDeliver {
+		return
+	}
+	if e.Drop == DropSNR {
+		m.metrics.SNRDrops.Inc()
+	}
+	if e.Consulted {
+		if fr, ok := m.faults.(FaultReplayer); ok {
+			drop := e.Drop
+			if drop == DropSNR {
+				drop = "" // SNR drops never reach the injector
+			}
+			fr.ReplayConsult(drop)
+		}
+	}
+	m.metrics.Deliveries.Inc()
+	now := m.Sched.Now()
+	snr := phy.SNRFromRSSI(e.RSSI)
+	if tr := m.tracer; tr != nil {
+		tr.Span(rx.Name, "rx "+label, e.Begin, now, traceID, exchange, map[string]string{
+			"rssi": strconv.FormatFloat(e.RSSI, 'f', 1, 64),
+			"snr":  strconv.FormatFloat(snr, 'f', 1, 64),
+			"fcs":  strconv.FormatBool(e.FCSOK),
+		})
+	}
+	if rx.handler == nil {
+		return
+	}
+	rx.handler(Reception{
+		Data:     rec.Data,
+		Rate:     rec.Rate,
+		RSSIDBm:  e.RSSI,
+		SNRDB:    snr,
+		Start:    e.Begin,
+		End:      now,
+		FCSOK:    e.FCSOK,
+		Exchange: exchange,
+	})
+}

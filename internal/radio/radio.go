@@ -160,6 +160,12 @@ type Medium struct {
 	tracer  *telemetry.Tracer
 	faults  FaultInjector
 
+	// Frame-log record/replay hooks (see framelog.go). byName resolves
+	// recorded receiver names back to radios during replay.
+	recorder FrameRecorder
+	replayer FrameReplayer
+	byName   map[string]*Radio
+
 	originRx     eventsim.Origin
 	originTxDone eventsim.Origin
 }
@@ -202,9 +208,10 @@ type transmission struct {
 	start    eventsim.Time
 	end      eventsim.Time
 	power    float64
-	traceID  uint64 // flow ID linking tx span to rx spans; 0 untraced
-	exchange uint64 // probe-exchange ID this frame belongs to; 0 unlinked
-	label    string // semantic frame name set by the MAC/attacker layer
+	traceID  uint64   // flow ID linking tx span to rx spans; 0 untraced
+	exchange uint64   // probe-exchange ID this frame belongs to; 0 unlinked
+	label    string   // semantic frame name set by the MAC/attacker layer
+	rec      *FrameTx // frame-log record being built; nil unless recording
 
 	// Pool bookkeeping: transmissions are recycled through the
 	// medium's free list once every holder lets go. refs counts the
@@ -240,6 +247,7 @@ func (m *Medium) releaseTx(t *transmission) {
 	t.source = nil
 	t.data = nil
 	t.label = ""
+	t.rec = nil
 	t.next = m.txFree
 	m.txFree = t
 }
@@ -267,32 +275,33 @@ type delivery struct {
 	rx      *Radio
 	t       *transmission
 	rssi    float64
+	recIdx  int // index into t.rec.Rx; -1 when not recording
 	beginFn func()
 	endFn   func()
 	next    *delivery
 }
 
-func (m *Medium) newDelivery(rx *Radio, t *transmission, rssi float64) *delivery {
+func (m *Medium) newDelivery(rx *Radio, t *transmission, rssi float64, recIdx int) *delivery {
 	d := m.delFree
 	if d == nil {
 		d = &delivery{}
-		d.beginFn = func() { d.rx.beginReception(d.t, d.rssi) }
+		d.beginFn = func() { d.rx.beginReception(d.t, d.rssi, d.recIdx) }
 		d.endFn = d.end
 	} else {
 		m.delFree = d.next
 		d.next = nil
 	}
-	d.rx, d.t, d.rssi = rx, t, rssi
+	d.rx, d.t, d.rssi, d.recIdx = rx, t, rssi, recIdx
 	return d
 }
 
 func (d *delivery) end() {
-	rx, t, rssi := d.rx, d.t, d.rssi
+	rx, t, rssi, recIdx := d.rx, d.t, d.rssi, d.recIdx
 	m := rx.medium
 	d.rx, d.t = nil, nil
 	d.next = m.delFree
 	m.delFree = d
-	rx.endReception(t, rssi)
+	rx.endReception(t, rssi, recIdx)
 	m.releaseTx(t)
 }
 
@@ -307,6 +316,7 @@ func NewMedium(sched *eventsim.Scheduler, rng *eventsim.RNG, cfg Config) *Medium
 		rng:          rng,
 		shadow:       make(map[linkKey]float64),
 		active:       make(map[chanKey][]*transmission),
+		byName:       make(map[string]*Radio),
 		originRx:     sched.Origin("radio.rx"),
 		originTxDone: sched.Origin("radio.txdone"),
 	}
@@ -349,6 +359,7 @@ func (m *Medium) NewRadio(name string, pos Position, band phy.Band, channel int)
 		state:      StateIdle,
 	}
 	m.radios = append(m.radios, r)
+	m.byName[name] = r
 	return r
 }
 
@@ -500,8 +511,23 @@ func (r *Radio) Wake() {
 func (r *Radio) Asleep() bool { return r.state == StateSleep }
 
 // CCABusy reports whether the radio's clear channel assessment sees
-// energy above threshold right now.
+// energy above threshold right now. Every call is a recordable event:
+// the answer depends on lazily-drawn per-link shadowing, so replay
+// answers from the log instead of re-deriving it.
 func (r *Radio) CCABusy() bool {
+	m := r.medium
+	if m.replayer != nil {
+		busy, ok := m.replayer.ReplayCCA(r.Name, m.Sched.Now())
+		return ok && busy
+	}
+	busy := r.ccaBusyLive()
+	if m.recorder != nil {
+		m.recorder.RecordCCA(r.Name, m.Sched.Now(), busy)
+	}
+	return busy
+}
+
+func (r *Radio) ccaBusyLive() bool {
 	if r.state == StateTX {
 		return true
 	}
@@ -541,6 +567,9 @@ func (r *Radio) Transmit(data []byte, rate phy.Rate) (eventsim.Time, error) {
 	r.nextTxExchange = 0
 	if r.Transmitting() {
 		return 0, ErrTxBusy
+	}
+	if m.replayer != nil {
+		return r.replayTransmit(now, data, rate, exchange)
 	}
 	air := phy.Airtime(rate, len(data))
 	// Copy the caller's bytes: senders reuse their serialization
@@ -584,6 +613,19 @@ func (r *Radio) Transmit(data []byte, rate phy.Rate) (eventsim.Time, error) {
 			"rate":  t.rate.String(),
 		})
 	}
+	if m.recorder != nil {
+		// Copy the bytes once more: buf may live in the per-stop arena,
+		// which is reset before the log is serialized.
+		t.rec = &FrameTx{
+			Src:      r.Name,
+			Start:    t.start,
+			End:      t.end,
+			Rate:     rate,
+			Data:     append([]byte(nil), data...),
+			Label:    t.label,
+			Exchange: t.exchange,
+		}
+	}
 
 	// Schedule per-receiver arrival events.
 	for _, rx := range m.radios {
@@ -596,13 +638,29 @@ func (r *Radio) Transmit(data []byte, rate phy.Rate) (eventsim.Time, error) {
 		}
 		if rssi < rx.sensDBm {
 			m.metrics.BelowSensitivity.Inc()
+			if t.rec != nil {
+				t.rec.BelowSens++
+			}
 			continue // below decode sensitivity; contributes only to CCA
 		}
 		delay := eventsim.Time(rx.pos.DistanceTo(r.pos) / speedOfLight * 1e9)
-		d := m.newDelivery(rx, t, rssi)
+		recIdx := -1
+		if t.rec != nil {
+			t.rec.Rx = append(t.rec.Rx, FrameRx{
+				Dst:   rx.Name,
+				Begin: t.start + delay,
+				End:   t.end + delay,
+				RSSI:  rssi,
+			})
+			recIdx = len(t.rec.Rx) - 1
+		}
+		d := m.newDelivery(rx, t, rssi, recIdx)
 		t.refs++
 		m.Sched.ScheduleTagged(m.originRx, t.start+delay, d.beginFn)
 		m.Sched.ScheduleTagged(m.originRx, t.end+delay, d.endFn)
+	}
+	if t.rec != nil {
+		m.recorder.RecordTx(t.rec)
 	}
 
 	// Return the transmitter to idle and garbage-collect; PS
@@ -622,7 +680,7 @@ func (m *Medium) reap(key chanKey) {
 	m.active[key] = live
 }
 
-func (r *Radio) beginReception(t *transmission, rssi float64) {
+func (r *Radio) beginReception(t *transmission, rssi float64, recIdx int) {
 	if r.state == StateSleep || r.state == StateTX {
 		return
 	}
@@ -632,6 +690,7 @@ func (r *Radio) beginReception(t *transmission, rssi float64) {
 		r.lockArrival = r.medium.Sched.Now()
 		r.corrupted = false
 		r.setState(StateRX)
+		t.recordFx(recIdx, FxLock)
 		return
 	}
 	// Overlap: capture or mutual corruption.
@@ -641,16 +700,26 @@ func (r *Radio) beginReception(t *transmission, rssi float64) {
 	case cur >= rssi+margin:
 		// Current frame survives; the newcomer is just noise.
 		r.medium.metrics.CaptureWins.Inc()
+		t.recordFx(recIdx, FxWin)
 	case rssi >= cur+margin:
 		// Newcomer captures the receiver.
 		r.medium.metrics.CaptureWins.Inc()
 		r.lockedTo = t
 		r.lockArrival = r.medium.Sched.Now()
 		r.corrupted = false
+		t.recordFx(recIdx, FxSteal)
 	default:
 		// Both lost.
 		r.medium.metrics.Collisions.Inc()
 		r.corrupted = true
+		t.recordFx(recIdx, FxClash)
+	}
+}
+
+// recordFx notes a begin-of-reception effect on the frame log entry.
+func (t *transmission) recordFx(recIdx int, fx string) {
+	if t.rec != nil && recIdx >= 0 {
+		t.rec.Rx[recIdx].Fx = fx
 	}
 }
 
@@ -660,7 +729,7 @@ func (r *Radio) lockArrivalFor(t *transmission) eventsim.Time {
 	return r.lockArrival
 }
 
-func (r *Radio) endReception(t *transmission, rssi float64) {
+func (r *Radio) endReception(t *transmission, rssi float64, recIdx int) {
 	if r.lockedTo != t {
 		return
 	}
@@ -671,15 +740,24 @@ func (r *Radio) endReception(t *transmission, rssi float64) {
 	if r.state == StateRX {
 		r.setState(StateIdle)
 	}
+	rec := (*FrameRx)(nil)
+	if t.rec != nil && recIdx >= 0 {
+		rec = &t.rec.Rx[recIdx]
+	}
 	if r.handler == nil {
+		if rec != nil {
+			rec.Out = OutUnlock
+		}
 		return
 	}
 	snr := phy.SNRFromRSSI(rssi)
 	fcsOK := !corrupted
+	drop := ""
 	if fcsOK {
 		fer := phy.FER(locked.rate, snr, len(locked.data))
 		if r.medium.rng.Coin(fer) {
 			fcsOK = false
+			drop = DropSNR
 			r.medium.metrics.SNRDrops.Inc()
 		}
 	}
@@ -687,9 +765,21 @@ func (r *Radio) endReception(t *transmission, rssi float64) {
 	// that would otherwise have decoded cleanly are offered up, so the
 	// injector's drop counts measure impairment, not double-counted
 	// PHY errors.
-	if fcsOK && r.medium.faults != nil &&
-		r.medium.faults.CorruptRx(locked.source, r, locked.data, r.medium.Sched.Now()) {
-		fcsOK = false
+	consulted := false
+	if fcsOK && r.medium.faults != nil {
+		consulted = true
+		if r.medium.faults.CorruptRx(locked.source, r, locked.data, r.medium.Sched.Now()) {
+			fcsOK = false
+			if fr, ok := r.medium.faults.(FaultReplayer); ok {
+				drop = fr.LastDropKind()
+			}
+		}
+	}
+	if rec != nil {
+		rec.Out = OutDeliver
+		rec.FCSOK = fcsOK
+		rec.Drop = drop
+		rec.Consulted = consulted
 	}
 	r.medium.metrics.Deliveries.Inc()
 	if tr := r.medium.tracer; tr != nil {

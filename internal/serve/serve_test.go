@@ -277,8 +277,8 @@ func TestQueueBackpressure(t *testing.T) {
 		t.Fatalf("overflow submit: %s, want 429", resp.Status)
 	}
 	ra := resp.Header.Get("Retry-After")
-	if n, err := strconv.Atoi(ra); err != nil || n < 0 {
-		t.Fatalf("Retry-After = %q, want a non-negative integer", ra)
+	if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer (zero tells clients to retry immediately)", ra)
 	}
 
 	close(release)
@@ -291,6 +291,19 @@ func TestQueueBackpressure(t *testing.T) {
 	}
 	if st := getStatus(t, ts, st2.ID); st.State != StateDone {
 		t.Fatalf("queued job final state %q", st.State)
+	}
+}
+
+// TestRetryAfterClamp: the backlog behind a 429 is sampled with len()
+// after the failed send, so a concurrent drain can race it to zero; the
+// hint must still be a positive number of seconds.
+func TestRetryAfterClamp(t *testing.T) {
+	for _, tc := range []struct{ backlog, want int }{
+		{-1, 1}, {0, 1}, {1, 1}, {2, 2}, {17, 17},
+	} {
+		if got := retryAfterSeconds(tc.backlog); got != tc.want {
+			t.Errorf("retryAfterSeconds(%d) = %d, want %d", tc.backlog, got, tc.want)
+		}
 	}
 }
 

@@ -250,6 +250,18 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// retryAfterSeconds turns a queue backlog into a Retry-After hint.
+// The backlog is sampled with len() after the failed send, so a
+// concurrent drain can race it down to zero — and "Retry-After: 0"
+// tells a well-behaved client to hammer the daemon immediately. Clamp
+// to at least one second.
+func retryAfterSeconds(backlog int) int {
+	if backlog < 1 {
+		return 1
+	}
+	return backlog
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, err := jobspec.Decode(r.Body)
 	if err != nil {
@@ -270,7 +282,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// backlog — jobs ahead of the caller must drain first.
 		backlog := len(s.queue)
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", backlog))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(backlog)))
 		writeErr(w, http.StatusTooManyRequests, "job queue full (%d waiting); retry later", backlog)
 		return
 	}
@@ -358,7 +370,7 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		backlog := len(s.queue)
 		j.mu.Unlock()
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", backlog))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(backlog)))
 		writeErr(w, http.StatusTooManyRequests, "job queue full (%d waiting); retry later", backlog)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"politewifi/internal/oui"
 	"politewifi/internal/phy"
 	"politewifi/internal/radio"
+	"politewifi/internal/replay"
 	"politewifi/internal/telemetry"
 	"politewifi/internal/telemetry/stream"
 )
@@ -416,6 +417,28 @@ type Config struct {
 	// stop's telemetry. Off by default: the values are host-dependent,
 	// so enabling them intentionally forfeits byte-identical streams.
 	SchedStats bool
+	// Record, when non-nil, captures every stop's frame-level medium
+	// activity — each transmission's wire bytes, arrival times and
+	// per-receiver outcomes, plus every carrier-sense check — as a
+	// politewifi.framelog/v1 log, flushed per stop in stop-index order
+	// so the log bytes are identical at any worker count. Recording
+	// observes the simulation without perturbing it. Mutually
+	// exclusive with Replay.
+	Record *replay.Recorder
+	// Replay, when non-nil, re-runs a recorded drive without
+	// re-simulating the RF medium: each stop's radios answer Transmit
+	// and CCA from the log in lockstep, reproducing census, telemetry
+	// and stream output byte for byte. The first disagreement between
+	// the live MAC stack and the log latches a positioned divergence
+	// error (Replay.Err) and leaves that stop's medium inert. Mutually
+	// exclusive with Record.
+	Replay *replay.Log
+	// ProbeInterval and ActiveScanInterval override the attacker's
+	// per-stop schedule (probe pacing and active-scan cadence); zero
+	// keeps the defaults (2 ms and 50 ms). The scenario fuzzer uses
+	// them to vary attacker timing.
+	ProbeInterval      eventsim.Time
+	ActiveScanInterval eventsim.Time
 }
 
 // DefaultConfig is the full-scale study configuration.
@@ -456,6 +479,13 @@ func Run(cfg Config) *Result {
 	rootRNG := eventsim.NewRNG(cfg.Seed)
 	city := BuildCity(rootRNG.Fork(), cfg.Scale)
 	stops := city.Stops(cfg.HouseholdsPerStop)
+
+	cfg.Record.Begin(len(stops))
+	if cfg.Replay != nil && cfg.Replay.Stops() != len(stops) {
+		cfg.Replay.Fail(fmt.Errorf(
+			"replay: log records %d stops but this configuration builds %d — wrong spec for this log",
+			cfg.Replay.Stops(), len(stops)))
+	}
 
 	res := &Result{
 		ClientVendors: make(map[string]int),
@@ -515,6 +545,7 @@ func Run(cfg Config) *Result {
 			cfg.Metrics.MergeFrom(sh.metrics)
 		}
 		cfg.Trace.MergeFrom(sh.tracer)
+		cfg.Record.WriteStop(sh.framelog)
 		totalSim += sh.simEnd
 		if cfg.Stream != nil {
 			delta := stream.Census{
@@ -572,7 +603,7 @@ func Run(cfg Config) *Result {
 				if cancelled() {
 					return
 				}
-				merger.complete(i, runStop(rngs[i], stops[i], cfg))
+				merger.complete(i, runStop(rngs[i], i, stops[i], cfg))
 			})
 		}
 		wg.Wait()
@@ -581,7 +612,7 @@ func Run(cfg Config) *Result {
 			if cancelled() {
 				break
 			}
-			merger.complete(i, runStop(rngs[i], stops[i], cfg))
+			merger.complete(i, runStop(rngs[i], i, stops[i], cfg))
 		}
 	default:
 		jobs := make(chan int)
@@ -591,7 +622,7 @@ func Run(cfg Config) *Result {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					merger.complete(i, runStop(rngs[i], stops[i], cfg))
+					merger.complete(i, runStop(rngs[i], i, stops[i], cfg))
 				}
 			}()
 		}
@@ -696,6 +727,9 @@ type stopResult struct {
 	// tracer is the stop-local span recorder (nil when tracing is
 	// off), merged into Config.Trace in stop order.
 	tracer *telemetry.Tracer
+	// framelog is the stop's frame-log shard (nil when not recording),
+	// flushed to Config.Record in stop order.
+	framelog *replay.StopLog
 	// simEnd is the stop's final virtual time.
 	simEnd eventsim.Time
 }
@@ -723,7 +757,9 @@ func (res *Result) absorb(sh *stopResult) {
 var stopArenas = sync.Pool{New: func() any { return arena.New() }}
 
 // runStop simulates one neighbourhood scan into a private shard.
-func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
+// index is the stop's 0-based street-order position, which keys its
+// frame-log shard when recording or replaying.
+func runStop(rng *eventsim.RNG, index int, stop Stop, cfg Config) *stopResult {
 	sh := &stopResult{
 		clientVendors: make(map[string]int),
 		apVendors:     make(map[string]int),
@@ -765,6 +801,19 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
 		if sh.metrics != nil {
 			inj.InstrumentInto(sh.metrics)
 		}
+	}
+	// Frame-log record/replay hooks. Both run after the fault fork so
+	// the RNG stream (and therefore everything downstream) is the same
+	// as an unrecorded run's; in replay mode the medium simply never
+	// draws from its fork again.
+	if cfg.Record != nil {
+		sh.framelog = replay.NewStopLog(index)
+		med.SetFrameRecorder(sh.framelog)
+	}
+	var cursor *replay.Cursor
+	if cfg.Replay != nil {
+		cursor = cfg.Replay.Cursor(index)
+		med.SetFrameReplayer(cursor)
 	}
 
 	type liveDev struct {
@@ -827,6 +876,12 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
 	}
 	scanner.ProbeInterval = 2 * eventsim.Millisecond
 	scanner.ActiveScanInterval = 50 * eventsim.Millisecond
+	if cfg.ProbeInterval > 0 {
+		scanner.ProbeInterval = cfg.ProbeInterval
+	}
+	if cfg.ActiveScanInterval > 0 {
+		scanner.ActiveScanInterval = cfg.ActiveScanInterval
+	}
 	scanner.Start()
 	// Opt-in scheduler throughput metering (Config.SchedStats): wall
 	// time is read only around the sim loop, never inside it, and the
@@ -894,6 +949,12 @@ func runStop(rng *eventsim.RNG, stop Stop, cfg Config) *stopResult {
 	}
 	if sh.metrics != nil {
 		accumulateStop(sh.metrics, sched, attacker, faultsOn)
+	}
+	// A replayed stop must have consumed its whole shard: leftover
+	// records mean the live run stopped asking for events mid-log,
+	// which is as much a divergence as asking for the wrong one.
+	if cursor != nil {
+		cursor.Close()
 	}
 	sh.simEnd = sched.Now()
 	return sh

@@ -20,7 +20,7 @@ func TestWheelHeapDifferential(t *testing.T) {
 		for w, s := range scheds {
 			s := s
 			w := w
-			src := rand.New(rand.NewSource(int64(trial)*7919 + 1)) //politevet:allow globalrand(same seed replayed per implementation)
+			src := rand.New(rand.NewSource(int64(trial)*7919 + 1))
 			id := 0
 			var handles []Handle
 			var step func()

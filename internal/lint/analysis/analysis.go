@@ -47,6 +47,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the interprocedural view: the current package's
+	// writable fact set plus frozen sets from analyzed dependencies.
+	// Nil when the driver runs without the facts layer (old-style
+	// single-package analysis); ImportObjectFact then reports false
+	// and ExportObjectFact is a no-op.
+	Facts *Facts
+
 	// Report delivers a diagnostic to the driver, which applies
 	// //politevet:allow suppression before surfacing it.
 	Report func(Diagnostic)

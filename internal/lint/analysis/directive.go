@@ -67,37 +67,76 @@ func ParseDirectives(f *ast.File) []Directive {
 }
 
 // Suppressor indexes a package's valid directives by analyzer and
-// line so the driver can filter diagnostics.
+// line so the driver can filter diagnostics. It also records which
+// directives actually suppressed something, so the driver's
+// unusedallow check can flag stale annotations.
 type Suppressor struct {
 	fset *token.FileSet
-	// byKey maps "filename:line:analyzer" to the directive index.
-	byKey map[string]bool
+	// byKey maps "filename:line:analyzer" to the covering directive.
+	byKey map[string]*usedDirective
+	dirs  []*usedDirective
+}
+
+type usedDirective struct {
+	Directive
+	used bool
 }
 
 // NewSuppressor indexes the valid (well-formed, reasoned) directives
 // of the given files.
 func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
-	s := &Suppressor{fset: fset, byKey: make(map[string]bool)}
+	s := &Suppressor{fset: fset, byKey: make(map[string]*usedDirective)}
 	for _, f := range files {
 		for _, d := range ParseDirectives(f) {
 			if d.Malformed != "" {
 				continue
 			}
+			ud := &usedDirective{Directive: d}
+			s.dirs = append(s.dirs, ud)
 			p := fset.Position(d.Pos)
 			// A directive covers its own line (trailing-comment form)
 			// and the following line (standalone-comment form).
-			s.byKey[key(p.Filename, p.Line, d.Analyzer)] = true
-			s.byKey[key(p.Filename, p.Line+1, d.Analyzer)] = true
+			s.byKey[key(p.Filename, p.Line, d.Analyzer)] = ud
+			s.byKey[key(p.Filename, p.Line+1, d.Analyzer)] = ud
 		}
 	}
 	return s
 }
 
 // Suppressed reports whether a diagnostic from the named analyzer at
-// pos is covered by a directive.
+// pos is covered by a directive, marking the directive as used.
 func (s *Suppressor) Suppressed(analyzer string, pos token.Pos) bool {
 	p := s.fset.Position(pos)
-	return s.byKey[key(p.Filename, p.Line, analyzer)]
+	ud, ok := s.byKey[key(p.Filename, p.Line, analyzer)]
+	if ok {
+		ud.used = true
+	}
+	return ok
+}
+
+// At returns the valid directive covering pos for the named analyzer,
+// without marking it used — the purity pass consults directives to
+// set the sanctioned bit on taints, which is not suppression.
+func (s *Suppressor) At(analyzer string, pos token.Pos) (Directive, bool) {
+	p := s.fset.Position(pos)
+	if ud, ok := s.byKey[key(p.Filename, p.Line, analyzer)]; ok {
+		return ud.Directive, true
+	}
+	return Directive{}, false
+}
+
+// Unused returns the valid directives that suppressed nothing during
+// this run, restricted to those naming an analyzer in ran — a
+// directive for a disabled analyzer is not stale, merely unexercised.
+// Call after every analyzer has reported.
+func (s *Suppressor) Unused(ran map[string]bool) []Directive {
+	var out []Directive
+	for _, ud := range s.dirs {
+		if !ud.used && ran[ud.Analyzer] {
+			out = append(out, ud.Directive)
+		}
+	}
+	return out
 }
 
 func key(file string, line int, analyzer string) string {

@@ -55,6 +55,40 @@ func (p *Pass) ReceiverNamed(call *ast.CallExpr) *types.Named {
 	return n
 }
 
+// StaticCallee resolves the *types.Func a call statically invokes:
+// a plain function, a qualified pkg.F reference, or a concrete method
+// call. Calls through function values, interface methods, built-ins,
+// and type conversions resolve to nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fn.Sel]
+		}
+	default:
+		return nil
+	}
+	f, _ := obj.(*types.Func)
+	if f == nil {
+		return nil
+	}
+	// An interface method has no body anywhere; facts never attach.
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+			return nil
+		}
+	}
+	return f
+}
+
 // IsConversion reports whether call is a type conversion and returns
 // the target type.
 func (p *Pass) IsConversion(call *ast.CallExpr) (types.Type, bool) {

@@ -17,6 +17,13 @@
 // package-level variable. Stores into struct fields of locals (the
 // pooled-job idiom: a deferred event re-reads the buffer later in
 // the same stop) are deliberately out of scope.
+//
+// The interprocedural upgrade adds the escaping-argument check,
+// backed by the purity fact pass (DESIGN.md §5j): passing a pooled
+// value into a parameter that the callee — possibly in another
+// package, possibly through further calls — sends on a channel or
+// stores at package level is the same escape one hop removed, and is
+// reported at the call site with the chain down to the sink.
 package bufreuse
 
 import (
@@ -24,13 +31,15 @@ import (
 	"go/types"
 
 	"politewifi/internal/lint/analysis"
+	"politewifi/internal/lint/purity"
 )
 
 // Analyzer implements the check.
 var Analyzer = &analysis.Analyzer{
 	Name: "bufreuse",
-	Doc: "flag pooled reception/arena buffers escaping their stop: sent on a channel " +
-		"or stored in a package-level variable without an explicit copy",
+	Doc: "flag pooled reception/arena buffers escaping their stop: sent on a channel, " +
+		"stored in a package-level variable, or passed to a function whose purity facts " +
+		"say the parameter escapes (chain reported) — all without an explicit copy",
 	Run: run,
 }
 
@@ -68,9 +77,31 @@ func (c *checker) check(body *ast.BlockStmt) {
 				c.pass.Reportf(n.Pos(),
 					"pooled buffer sent on a channel: reception/arena bytes are recycled at stop reset, so the consumer may read rewritten memory; copy first (append([]byte(nil), b...)) or opt out of pooling (Attacker.RetainFrames), or carry a //politevet:allow bufreuse(reason) directive")
 			}
+		case *ast.CallExpr:
+			c.escapingArgs(n)
 		}
 		return true
 	})
+}
+
+// escapingArgs reports pooled values passed into parameters the
+// callee's purity facts mark as escaping.
+func (c *checker) escapingArgs(call *ast.CallExpr) {
+	escapes := purity.EscapeFactOf(c.pass, call)
+	if len(escapes) == 0 {
+		return
+	}
+	for _, esc := range escapes {
+		if esc.Sanctioned || esc.Param >= len(call.Args) {
+			continue
+		}
+		if !c.pooled(call.Args[esc.Param]) {
+			continue
+		}
+		c.pass.Reportf(call.Args[esc.Param].Pos(),
+			"pooled buffer passed to a parameter that escapes its stop: %s; reception/arena bytes are recycled at stop reset, so the eventual reader may see rewritten memory; copy first (append([]byte(nil), b...)), or carry a //politevet:allow bufreuse(reason) directive",
+			purity.ChainString(esc.Chain))
+	}
 }
 
 // assign handles both sinks (package-level LHS fed a pooled RHS) and

@@ -1,0 +1,107 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"politewifi/internal/lint"
+)
+
+// certPatterns is a representative slice of the sim tree: eventsim
+// carries sanctioned wallclock impurity (the opt-in fire profiler),
+// dot11 is pure arithmetic, and lint is named to prove it is excluded.
+var certPatterns = []string{
+	"politewifi/internal/eventsim",
+	"politewifi/internal/dot11",
+	"politewifi/internal/lint",
+}
+
+func certify(t *testing.T, workers int) string {
+	t.Helper()
+	out, err := lint.Certify(lint.Options{
+		Patterns:  certPatterns,
+		Workers:   workers,
+		FactCache: "off",
+	})
+	if err != nil {
+		t.Fatalf("certify (workers=%d): %v", workers, err)
+	}
+	return out
+}
+
+// TestCertifyByteStable pins the certificate's core contract: the
+// output is a pure function of the analyzed source, byte-identical
+// across worker counts. CI diffs the committed CERTIFICATE.md against
+// a regeneration, so any instability here would make every CI run
+// flake.
+func TestCertifyByteStable(t *testing.T) {
+	base := certify(t, 1)
+	for _, workers := range []int{2, 4} {
+		if got := certify(t, workers); got != base {
+			t.Errorf("certificate differs between -workers=1 and -workers=%d", workers)
+		}
+	}
+
+	if !strings.Contains(base, "## politewifi/internal/eventsim") {
+		t.Errorf("certificate missing the eventsim section")
+	}
+	if !strings.Contains(base, "## politewifi/internal/dot11") {
+		t.Errorf("certificate missing the dot11 section")
+	}
+	if strings.Contains(base, "## politewifi/internal/lint") {
+		t.Errorf("certificate must not certify the lint tree itself")
+	}
+	if !strings.Contains(base, "— pure") {
+		t.Errorf("certificate certifies nothing as pure")
+	}
+}
+
+// TestFactCacheWarm runs the driver twice against the same cache
+// directory over the cross-package taint fixture — packages with
+// known, non-empty findings — and requires the warm run to reproduce
+// the cold run exactly. A cache that changed results would be worse
+// than no cache.
+func TestFactCacheWarm(t *testing.T) {
+	dir := t.TempDir()
+	taint := []string{
+		"politewifi/internal/lint/purity/testdata/src/taint/leaf",
+		"politewifi/internal/lint/purity/testdata/src/taint/mid",
+		"politewifi/internal/lint/purity/testdata/src/taint/world",
+	}
+	run := func(label string) string {
+		res, err := lint.RunOpts(lint.Options{
+			Patterns:  taint,
+			FactCache: dir,
+		})
+		if err != nil {
+			t.Fatalf("%s run: %v", label, err)
+		}
+		var b strings.Builder
+		for _, f := range res.Findings {
+			fmt.Fprintln(&b, f)
+		}
+		return b.String()
+	}
+
+	cold := run("cold")
+	if cold == "" {
+		t.Fatalf("taint fixture produced no findings; the cache test needs real output to compare")
+	}
+	entries := 0
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".facts") {
+			entries++
+		}
+		return nil
+	})
+	if entries == 0 {
+		t.Fatalf("cold run populated no fact-cache entries in %s", dir)
+	}
+
+	if warm := run("warm"); warm != cold {
+		t.Errorf("warm-cache findings differ from cold run:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+}

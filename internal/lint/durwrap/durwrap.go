@@ -19,6 +19,13 @@
 // width — the dot11.SequenceControl.Uint16 class. The sanctioned shape
 // masks to the field width before shifting, mirroring the wrap the
 // protocol defines: `(sc.Number&0xfff)<<4`.
+//
+// Guards may also live inside a named clamp helper instead of at the
+// call site: a function the purity fact pass proves returns a
+// non-negative value of at most N significant bits (an if-chain
+// against a named const, or a min/max clamp — see purity.Clamp)
+// earns a Clamp fact, and `uint16(capNAV(d))` is sanctioned whenever
+// the fact's bound fits the target width — across package boundaries.
 package durwrap
 
 import (
@@ -30,6 +37,7 @@ import (
 	"regexp"
 
 	"politewifi/internal/lint/analysis"
+	"politewifi/internal/lint/purity"
 )
 
 // Analyzer implements the check.
@@ -37,7 +45,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "durwrap",
 	Doc: "flag uint8/16/32 narrowing of duration-typed values, unsigned subtraction of duration-like " +
 		"quantities without a dominating guard (the dot11.CTSFor NAV-underflow class), and unmasked " +
-		"shifts that can push bits past an unsigned wire field's width (the dot11 sequence-pack class)",
+		"shifts that can push bits past an unsigned wire field's width (the dot11 sequence-pack class); " +
+		"a named clamp helper carrying a purity Clamp fact sanctions the narrowing it bounds",
 	Run: run,
 }
 
@@ -83,6 +92,12 @@ func checkConversion(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) 
 	// A constant operand is range-checked by the compiler at the
 	// conversion; it cannot wrap at run time.
 	if tv, ok := pass.TypesInfo.Types[op]; ok && tv.Value != nil {
+		return
+	}
+	// A clamp-helper result (purity Clamp fact) that is provably
+	// non-negative and fits the target width cannot wrap: the guard
+	// lives inside the named helper instead of at the call site.
+	if cf := purity.ClampFactOf(pass, op); cf != nil && cf.NonNeg && cf.Bits <= bits {
 		return
 	}
 	if guarded(pass, stack, op) {
@@ -205,6 +220,10 @@ func effectiveBits(pass *analysis.Pass, e ast.Expr) int {
 				w = cw
 			}
 			return min(w, effectiveBits(pass, e.Args[0]))
+		}
+		// A clamp helper's result is bounded by its Clamp fact.
+		if cf := purity.ClampFactOf(pass, e); cf != nil && cf.NonNeg {
+			return cf.Bits
 		}
 	}
 	if w, unsigned := analysis.IsUnsigned(pass.TypeOf(e)); unsigned && w > 0 {

@@ -1,0 +1,53 @@
+// Package clamp exercises durwrap's clamp-helper facts: a named
+// helper the purity pass proves returns a bounded non-negative value
+// sanctions the narrowing of its result, with no guard at the call
+// site. Helpers that do not actually bound their result earn no fact
+// and sanction nothing.
+package clamp
+
+import "time"
+
+// maxNAV is the widest value a 15-bit NAV field carries.
+const maxNAV time.Duration = 32767
+
+// capNAV is the sanctioned clamp shape: an if-chain against a named
+// const, provably non-negative and at most 15 bits.
+func capNAV(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	if d > maxNAV {
+		return maxNAV
+	}
+	return d
+}
+
+// capNAVMinMax is the expression-clamp variant of the same bound.
+func capNAVMinMax(d time.Duration) time.Duration {
+	return min(max(d, 0), maxNAV)
+}
+
+// halfCap clamps, but only from below: the result is non-negative yet
+// unbounded above, so it earns no narrowing sanction.
+func halfCap(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func pack(d time.Duration) uint16 {
+	return uint16(capNAV(d))
+}
+
+func packMinMax(d time.Duration) uint16 {
+	return uint16(capNAVMinMax(d))
+}
+
+func packUnbounded(d time.Duration) uint16 {
+	return uint16(halfCap(d)) // want `narrows duration-typed`
+}
+
+func packRaw(d time.Duration) uint16 {
+	return uint16(d) // want `narrows duration-typed`
+}

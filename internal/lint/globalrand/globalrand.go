@@ -1,59 +1,53 @@
 // Package globalrand forbids the process-global math/rand source and
-// racy sharing of *rand.Rand across goroutines. Every stochastic
-// draw in the simulator must come from a seed-forked eventsim.RNG
-// (the sanctioned entry point: eventsim.NewRNG and RNG.Fork), so a
-// run replays bit-identically from its seed at any worker count. A
-// single rand.Intn against the global source — or one *rand.Rand
-// shared by two goroutines — reorders the stream and breaks the
-// census cross-check in internal/world.
+// racy sharing of *rand.Rand across goroutines — directly or through
+// any chain of calls. Every stochastic draw in the simulator must
+// come from a seed-forked eventsim.RNG (the sanctioned entry point:
+// eventsim.NewRNG and RNG.Fork), so a run replays bit-identically
+// from its seed at any worker count. A single rand.Intn against the
+// global source — or one *rand.Rand shared by two goroutines —
+// reorders the stream and breaks the census cross-check in
+// internal/world.
+//
+// The transitive check consults the purity fact pass (DESIGN.md §5j):
+// a call to any function whose purity signature carries an
+// unsanctioned globalrand taint is reported with the full chain down
+// to the draw, so wrapping rand.Intn in a helper no longer hides it.
 package globalrand
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"politewifi/internal/lint/analysis"
+	"politewifi/internal/lint/purity"
 )
 
 // Analyzer implements the check.
 var Analyzer = &analysis.Analyzer{
 	Name: "globalrand",
-	Doc: "forbid package-level math/rand draws and *rand.Rand captured by goroutine closures; " +
+	Doc: "forbid package-level math/rand draws — including transitively through helpers " +
+		"(full call chain reported) — and *rand.Rand captured by goroutine closures; " +
 		"draw from seed-forked eventsim.RNG instances instead",
 	Run: run,
-}
-
-// draws lists the math/rand (and v2) package-level functions that
-// consume the global source. Constructors (New, NewSource, NewPCG,
-// NewChaCha8, NewZipf) are exempt: building a private generator from
-// an explicit seed is exactly the sanctioned pattern.
-var draws = map[string]map[string]bool{
-	"math/rand": set("Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
-		"Uint32", "Uint64", "Float32", "Float64", "NormFloat64", "ExpFloat64",
-		"Perm", "Shuffle", "Seed", "Read"),
-	"math/rand/v2": set("Int", "IntN", "Int32", "Int32N", "Int64", "Int64N",
-		"Uint", "UintN", "Uint32", "Uint32N", "Uint64", "Uint64N",
-		"Float32", "Float64", "NormFloat64", "ExpFloat64", "Perm", "Shuffle", "N"),
-}
-
-func set(names ...string) map[string]bool {
-	m := make(map[string]bool, len(names))
-	for _, n := range names {
-		m[n] = true
-	}
-	return m
 }
 
 func run(pass *analysis.Pass) error {
 	pass.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
 		sel := n.(*ast.SelectorExpr)
-		for path, names := range draws {
+		for path, names := range purity.GlobalRandSources {
 			if name, ok := pass.PkgLevelRef(sel, path); ok && names[name] {
 				pass.Reportf(sel.Pos(),
 					"rand.%s draws from the process-global source and is not replayable from a seed; draw from a seed-forked *eventsim.RNG (eventsim.NewRNG / (*RNG).Fork), the simulator's only sanctioned RNG entry point",
 					name)
 			}
 		}
+	})
+
+	purity.ReportTaints(pass, purity.KindGlobalRand, func(pos token.Pos, chain []string) {
+		pass.Reportf(pos,
+			"call transitively draws from the process-global rand source: %s; plumb a seed-forked *eventsim.RNG through instead, or carry a //politevet:allow globalrand(reason) directive at the sanctioned acquisition point",
+			purity.ChainString(chain))
 	})
 
 	pass.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {

@@ -65,6 +65,7 @@ type listPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	ImportMap  map[string]string
 	ForTest    string
 	DepOnly    bool

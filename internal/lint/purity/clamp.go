@@ -1,0 +1,413 @@
+package purity
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math/bits"
+
+	"politewifi/internal/lint/analysis"
+)
+
+// clampShape recognizes the sanctioned clamp-helper shapes durwrap
+// wants to see between a raw duration and a narrow wire field:
+//
+//	func capNAV(d eventsim.Time) uint16 {
+//		if d < 0 { return 0 }
+//		if d > maxNAV { return maxNAV }
+//		return uint16(d)
+//	}
+//
+//	func capNAV(d int64) int64 { return min(max(d, 0), maxNAV) }
+//
+// When every return value is provably bounded, the function earns a
+// Clamp fact {Bits, NonNeg} and call sites that narrow its result are
+// sanctioned without a local guard. The analysis is deliberately
+// flat: guards are tracked only across the top-level statement list
+// (the helper shape), and any return buried in a construct we don't
+// model forfeits the fact.
+func clampShape(pass *analysis.Pass, decl *ast.FuncDecl) *Clamp {
+	res := decl.Type.Results
+	if res == nil || len(res.List) != 1 || len(res.List[0].Names) > 1 {
+		return nil
+	}
+	rt := pass.TypeOf(res.List[0].Type)
+	if rt == nil {
+		return nil
+	}
+	b, ok := rt.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	width := 64
+	unsigned := false
+	if w, uns := analysis.IsUnsigned(rt); uns {
+		unsigned = true
+		if w > 0 {
+			width = w
+		}
+	}
+
+	cb := &clampBody{pass: pass, env: make(map[types.Object]bound)}
+	out := bound{bits: 0, nonneg: true} // join identity
+	complete := cb.walk(decl.Body.List, &out)
+	if !complete || cb.returns == 0 {
+		return nil
+	}
+	if unsigned {
+		out.nonneg = true
+		if out.bits > width {
+			out.bits = width
+		}
+	}
+	if out.bits >= 64 {
+		return nil // no better than the type itself
+	}
+	return &Clamp{Bits: out.bits, NonNeg: out.nonneg}
+}
+
+// bound is an upper bound on an expression's runtime value: it
+// carries at most `bits` significant bits, and nonneg marks it
+// provably ≥ 0. bits == 64 means unbounded.
+type bound struct {
+	bits   int
+	nonneg bool
+}
+
+func unknownBound() bound { return bound{bits: 64} }
+
+func joinBound(a, b bound) bound {
+	return bound{bits: max(a.bits, b.bits), nonneg: a.nonneg && b.nonneg}
+}
+
+type clampBody struct {
+	pass    *analysis.Pass
+	env     map[types.Object]bound
+	returns int
+}
+
+// walk processes a flat statement list, folding every return's bound
+// into out. It reports false when it meets a return it cannot bound
+// or a construct it does not model that hides a return.
+func (cb *clampBody) walk(stmts []ast.Stmt, out *bound) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			if len(s.Results) != 1 {
+				return false
+			}
+			cb.returns++
+			rb := cb.exprBound(s.Results[0])
+			if rb.bits >= 64 && !rb.nonneg {
+				return false
+			}
+			*out = joinBound(*out, rb)
+			return true // statements after a top-level return are dead
+		case *ast.AssignStmt:
+			cb.assign(s)
+		case *ast.IfStmt:
+			if !cb.ifStmt(s, out) {
+				return false
+			}
+		case *ast.DeclStmt, *ast.EmptyStmt, *ast.ExprStmt:
+			if hasReturn(stmt) {
+				return false
+			}
+		default:
+			if hasReturn(stmt) {
+				return false
+			}
+			cb.invalidateAssigned(stmt)
+		}
+	}
+	return true
+}
+
+// ifStmt handles the guard shapes: a simple comparison of a tracked
+// identifier against a constant, whose body either terminates with a
+// bounded return or clamps the identifier by assignment. After the
+// if, the negated comparison refines the identifier's bound.
+func (cb *clampBody) ifStmt(s *ast.IfStmt, out *bound) bool {
+	if s.Init != nil || s.Else != nil {
+		return !hasReturn(s) // unmodelled shape: fine if it hides no return
+	}
+	obj, refined, ok := cb.negatedGuard(s.Cond)
+	if !ok {
+		if hasReturn(s) {
+			return false
+		}
+		cb.invalidateAssigned(s.Body)
+		return true
+	}
+
+	switch len(s.Body.List) {
+	case 1:
+		switch body := s.Body.List[0].(type) {
+		case *ast.ReturnStmt:
+			// if x > C { return C' } — the branch's return folds in,
+			// the fallthrough path gets the refinement.
+			if len(body.Results) != 1 {
+				return false
+			}
+			cb.returns++
+			rb := cb.exprBound(body.Results[0])
+			if rb.bits >= 64 && !rb.nonneg {
+				return false
+			}
+			*out = joinBound(*out, rb)
+			cb.refine(obj, refined)
+			return true
+		case *ast.AssignStmt:
+			// if x > C { x = C } — both paths merge: refinement on the
+			// fallthrough, the assigned bound on the clamped path.
+			if len(body.Lhs) == 1 && len(body.Rhs) == 1 {
+				if id, ok := ast.Unparen(body.Lhs[0]).(*ast.Ident); ok && cb.objectOf(id) == obj {
+					ab := cb.exprBound(body.Rhs[0])
+					cb.refine(obj, refined)
+					cb.env[obj] = joinBound(cb.env[obj], ab)
+					return true
+				}
+			}
+		}
+	}
+	if hasReturn(s) {
+		return false
+	}
+	cb.invalidateAssigned(s.Body)
+	return true
+}
+
+// negatedGuard decodes `id OP const` (or mirrored) conditions whose
+// body not running leaves a useful refinement on id: the negation of
+// the condition.
+func (cb *clampBody) negatedGuard(cond ast.Expr) (types.Object, bound, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil, bound{}, false
+	}
+	id, idOK := ast.Unparen(be.X).(*ast.Ident)
+	c, cOK := cb.constInt(be.Y)
+	op := be.Op
+	if !idOK || !cOK {
+		// mirrored: const OP id — flip the comparison.
+		id, idOK = ast.Unparen(be.Y).(*ast.Ident)
+		c, cOK = cb.constInt(be.X)
+		switch op {
+		case token.LSS:
+			op = token.GTR
+		case token.LEQ:
+			op = token.GEQ
+		case token.GTR:
+			op = token.LSS
+		case token.GEQ:
+			op = token.LEQ
+		}
+	}
+	if !idOK || !cOK {
+		return nil, bound{}, false
+	}
+	obj := cb.objectOf(id)
+	if obj == nil {
+		return nil, bound{}, false
+	}
+	cur := cb.lookup(obj)
+	switch op {
+	case token.GTR: // !(id > c) → id ≤ c
+		if c >= 0 {
+			return obj, bound{bits: bits.Len64(uint64(c)), nonneg: cur.nonneg}, true
+		}
+	case token.GEQ: // !(id ≥ c) → id ≤ c-1
+		if c >= 1 {
+			return obj, bound{bits: bits.Len64(uint64(c - 1)), nonneg: cur.nonneg}, true
+		}
+	case token.LSS: // !(id < c) → id ≥ c
+		if c >= 0 {
+			return obj, bound{bits: cur.bits, nonneg: true}, true
+		}
+	case token.LEQ: // !(id ≤ c) → id ≥ c+1
+		if c >= -1 {
+			return obj, bound{bits: cur.bits, nonneg: true}, true
+		}
+	}
+	return nil, bound{}, false
+}
+
+func (cb *clampBody) refine(obj types.Object, b bound) {
+	cur := cb.lookup(obj)
+	cb.env[obj] = bound{bits: min(cur.bits, b.bits), nonneg: cur.nonneg || b.nonneg}
+}
+
+func (cb *clampBody) lookup(obj types.Object) bound {
+	if b, ok := cb.env[obj]; ok {
+		return b
+	}
+	// Seed from the declared type: unsigned widths bound themselves.
+	if w, uns := analysis.IsUnsigned(obj.Type()); uns && w > 0 {
+		return bound{bits: w, nonneg: true}
+	}
+	return unknownBound()
+}
+
+func (cb *clampBody) assign(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		cb.invalidateAssigned(s)
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := cb.objectOf(id)
+		if obj == nil {
+			continue
+		}
+		cb.env[obj] = cb.exprBound(s.Rhs[i])
+	}
+}
+
+// invalidateAssigned forgets bounds for identifiers written anywhere
+// inside an unmodelled construct.
+func (cb *clampBody) invalidateAssigned(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := cb.objectOf(id); obj != nil {
+						delete(cb.env, obj)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				if obj := cb.objectOf(id); obj != nil {
+					delete(cb.env, obj)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if obj := cb.objectOf(id); obj != nil {
+						delete(cb.env, obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprBound computes an upper bound for an expression under the
+// current guard environment.
+func (cb *clampBody) exprBound(e ast.Expr) bound {
+	e = ast.Unparen(e)
+	if c, ok := cb.constInt(e); ok {
+		if c < 0 {
+			return unknownBound()
+		}
+		return bound{bits: bits.Len64(uint64(c)), nonneg: true}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := cb.objectOf(e); obj != nil {
+			return cb.lookup(obj)
+		}
+	case *ast.BinaryExpr:
+		x := cb.exprBound(e.X)
+		switch e.Op {
+		case token.AND:
+			y := cb.exprBound(e.Y)
+			// x & C with a non-negative operand bound clears the sign bit.
+			nb := bound{bits: min(x.bits, y.bits), nonneg: x.nonneg || y.nonneg}
+			return nb
+		case token.SHR:
+			if c, ok := cb.constInt(e.Y); ok && c >= 0 {
+				return bound{bits: max(x.bits-int(c), 0), nonneg: x.nonneg}
+			}
+		case token.REM:
+			if c, ok := cb.constInt(e.Y); ok && c > 0 {
+				return bound{bits: bits.Len64(uint64(c - 1)), nonneg: x.nonneg}
+			}
+		}
+	case *ast.CallExpr:
+		if target, ok := cb.pass.IsConversion(e); ok && len(e.Args) == 1 {
+			inner := cb.exprBound(e.Args[0])
+			if w, uns := analysis.IsUnsigned(target); uns && w > 0 {
+				if inner.nonneg && inner.bits <= w {
+					return bound{bits: inner.bits, nonneg: true}
+				}
+				return bound{bits: w, nonneg: true} // wraps, but into w bits
+			}
+			if inner.nonneg {
+				return inner
+			}
+			return unknownBound()
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if _, builtin := cb.pass.TypesInfo.Uses[id].(*types.Builtin); builtin {
+				switch id.Name {
+				case "min":
+					// result equals the smallest arg: ≤ every arg, ≥ 0
+					// only when every arg is.
+					out := unknownBound()
+					out.nonneg = true
+					for _, arg := range e.Args {
+						ab := cb.exprBound(arg)
+						out.bits = min(out.bits, ab.bits)
+						out.nonneg = out.nonneg && ab.nonneg
+					}
+					if len(e.Args) > 0 {
+						return out
+					}
+				case "max":
+					// result equals the largest arg: ≤ the largest
+					// bound, ≥ 0 when any arg is.
+					out := bound{bits: 0}
+					for _, arg := range e.Args {
+						ab := cb.exprBound(arg)
+						out.bits = max(out.bits, ab.bits)
+						out.nonneg = out.nonneg || ab.nonneg
+					}
+					if len(e.Args) > 0 {
+						return out
+					}
+				case "len":
+					return bound{bits: 63, nonneg: true}
+				}
+			}
+		}
+	}
+	return unknownBound()
+}
+
+func (cb *clampBody) constInt(e ast.Expr) (int64, bool) {
+	tv, ok := cb.pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return v, exact
+}
+
+func (cb *clampBody) objectOf(id *ast.Ident) types.Object {
+	if obj := cb.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return cb.pass.TypesInfo.Defs[id]
+}
+
+func hasReturn(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.FuncLit:
+			return false // its returns are not ours
+		}
+		return !found
+	})
+	return found
+}

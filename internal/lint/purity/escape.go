@@ -1,0 +1,252 @@
+package purity
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"politewifi/internal/lint/analysis"
+)
+
+// The escape half of the signature answers bufreuse's interprocedural
+// question: if I hand this function a pooled buffer (an arena-backed
+// []byte or a Reception), can it outlive my stop? A parameter escapes
+// when the body sends it on a channel, stores it in a package-level
+// variable, or forwards it into another function's escaping
+// parameter. bufreuse then flags call sites that pass pooled values
+// into escaping parameters, with the chain down to the sink.
+
+// escapeTrackable reports whether a parameter's type can alias pooled
+// frame memory: byte slices, Reception values/pointers, and anything
+// containing them is approximated by "slice or named Reception".
+func escapeTrackable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Slice); ok {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() != nil && n.Obj().Name() == "Reception"
+}
+
+// seedEscapes finds the direct sinks: parameters reaching a channel
+// send or a package-level store inside this body.
+func (a *pkgAnalysis) seedEscapes(fi *fnInfo) {
+	params := paramObjects(a.pass, fi.decl)
+	if len(params) == 0 {
+		return
+	}
+	// tracked maps local objects aliasing a parameter to that
+	// parameter's index — enough flow sensitivity for `b := p` chains.
+	tracked := make(map[types.Object]int, len(params))
+	for obj, idx := range params {
+		tracked[obj] = idx
+	}
+
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				src, ok := a.trackedExpr(tracked, n.Rhs[i])
+				if !ok {
+					continue
+				}
+				if a.pkgLevelBase(lhs) {
+					a.addEscape(fi, src, "package-level store", lhs.Pos())
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := a.objectOf(id); obj != nil {
+						tracked[obj] = src
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if src, ok := a.trackedExpr(tracked, n.Value); ok {
+				a.addEscape(fi, src, "channel send", n.Pos())
+			}
+		case *ast.FuncLit:
+			// A closure capturing the parameter and launched as a
+			// goroutine would escape, but seedYields already forces
+			// Yields=true for go statements; for escape purposes the
+			// closure body is scanned like any other statement.
+			return true
+		}
+		return true
+	})
+
+	fi.escTracked = tracked
+}
+
+// propagateEscape pulls callee escapes up: a tracked value passed
+// into an escaping parameter escapes here too.
+func (a *pkgAnalysis) propagateEscape(fi *fnInfo, cs callSite, csig *Sig) bool {
+	if len(csig.Escapes) == 0 || fi.escTracked == nil {
+		return false
+	}
+	changed := false
+	args := cs.call.Args
+	for _, esc := range csig.Escapes {
+		// Method calls: Args align with parameters (receiver is not an
+		// argument expression), so esc.Param indexes Args directly.
+		if esc.Param >= len(args) {
+			continue
+		}
+		src, ok := a.trackedExpr(fi.escTracked, args[esc.Param])
+		if !ok {
+			continue
+		}
+		if a.hasEscape(fi, src) {
+			continue
+		}
+		e := Escape{
+			Param:      src,
+			Sanctioned: esc.Sanctioned,
+			Reason:     esc.Reason,
+			Chain:      extend(display(fi.obj), esc.Chain),
+		}
+		if d, ok := a.sup.At("bufreuse", cs.pos); ok {
+			e.Sanctioned = true
+			e.Reason = d.Reason
+		}
+		fi.sig.Escapes = append(fi.sig.Escapes, e)
+		changed = true
+	}
+	return changed
+}
+
+func (a *pkgAnalysis) addEscape(fi *fnInfo, param int, sink string, pos token.Pos) {
+	if a.hasEscape(fi, param) {
+		return
+	}
+	e := Escape{
+		Param: param,
+		Chain: []string{display(fi.obj), sink + " at " + a.rel(pos)},
+	}
+	if d, ok := a.sup.At("bufreuse", pos); ok {
+		e.Sanctioned = true
+		e.Reason = d.Reason
+	}
+	fi.sig.Escapes = append(fi.sig.Escapes, e)
+}
+
+func (a *pkgAnalysis) hasEscape(fi *fnInfo, param int) bool {
+	for _, e := range fi.sig.Escapes {
+		if e.Param == param {
+			return true
+		}
+	}
+	return false
+}
+
+// trackedExpr resolves an expression to the parameter index it
+// aliases, looking through reslicing, address-taking, field selection
+// on a tracked value, and parentheses.
+func (a *pkgAnalysis) trackedExpr(tracked map[types.Object]int, e ast.Expr) (int, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := a.objectOf(e)
+		if obj == nil {
+			return 0, false
+		}
+		idx, ok := tracked[obj]
+		return idx, ok
+	case *ast.SliceExpr:
+		return a.trackedExpr(tracked, e.X)
+	case *ast.UnaryExpr:
+		return a.trackedExpr(tracked, e.X)
+	case *ast.StarExpr:
+		return a.trackedExpr(tracked, e.X)
+	case *ast.SelectorExpr:
+		// rx.Data on a tracked Reception still aliases the pool.
+		return a.trackedExpr(tracked, e.X)
+	case *ast.CallExpr:
+		// append(dst, b...) is the sanctioned element-wise copy; any
+		// other append keeps the base's backing array.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := a.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(e.Args) > 0 {
+				if src, ok := a.trackedExpr(tracked, e.Args[0]); ok {
+					return src, true
+				}
+				if !e.Ellipsis.IsValid() {
+					for _, arg := range e.Args[1:] {
+						if src, ok := a.trackedExpr(tracked, arg); ok {
+							return src, true
+						}
+					}
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// paramObjects maps each value parameter object of fd to its index.
+// The receiver is deliberately excluded: bufreuse's pooled shapes are
+// always arguments, and receiver tracking would drown the fact set in
+// method noise.
+func paramObjects(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]int {
+	out := make(map[types.Object]int)
+	idx := 0
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++ // unnamed parameter can never escape by name
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil && escapeTrackable(obj.Type()) {
+				out[obj] = idx
+			}
+			idx++
+		}
+	}
+	return out
+}
+
+func (a *pkgAnalysis) objectOf(id *ast.Ident) types.Object {
+	if obj := a.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return a.pass.TypesInfo.Defs[id]
+}
+
+// pkgLevelBase reports whether the assignment target's base resolves
+// to a package-level variable.
+func (a *pkgAnalysis) pkgLevelBase(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := a.pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					return pkgLevelObj(a.pass, a.pass.TypesInfo.Uses[x.Sel])
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			return pkgLevelObj(a.pass, a.objectOf(x))
+		default:
+			return false
+		}
+	}
+}
+
+func pkgLevelObj(pass *analysis.Pass, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Parent() == pass.Pkg.Scope()
+}

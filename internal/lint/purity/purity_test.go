@@ -1,0 +1,26 @@
+package purity_test
+
+import (
+	"testing"
+
+	"politewifi/internal/lint/analysis"
+	"politewifi/internal/lint/analysistest"
+	"politewifi/internal/lint/globalrand"
+	"politewifi/internal/lint/wallclock"
+)
+
+// TestCrossPackageTaint drives the full interprocedural pipeline over
+// a three-package fixture: leaf touches time.Now and rand.Intn, mid
+// wraps leaf, world wraps mid. The upgraded wallclock and globalrand
+// analyzers must flag mid and world purely from leaf's exported
+// facts, with full call chains, while sanctioned traces stay silent
+// at every level. The packages must be named explicitly — go's `...`
+// wildcards never descend into testdata.
+func TestCrossPackageTaint(t *testing.T) {
+	analysistest.RunPatterns(t,
+		[]*analysis.Analyzer{globalrand.Analyzer, wallclock.Analyzer},
+		"./testdata/src/taint/leaf",
+		"./testdata/src/taint/mid",
+		"./testdata/src/taint/world",
+	)
+}

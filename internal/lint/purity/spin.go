@@ -1,0 +1,243 @@
+package purity
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"politewifi/internal/lint/analysis"
+)
+
+// SpinFinding is one busy-wait loop: a for-loop that polls simulation
+// state via a call but contains nothing that can advance simulated
+// time. Polled is the rendered poll expression for the diagnostic.
+type SpinFinding struct {
+	Pos    token.Pos
+	Polled string
+}
+
+// FindSpins locates the simsleep class in a package. It refines the
+// old syntactic check with facts: a call in the loop body only counts
+// as a yield when the callee's signature says it can yield (or the
+// callee is unknown and must be assumed to). A loop whose body calls
+// only provably pure helpers — `for s.Busy() { recompute() }` where
+// recompute touches nothing outside its frame — still spins, and now
+// gets caught. The caller (purity.run) exports current-package facts
+// before invoking this, so same-package callees resolve.
+func FindSpins(pass *analysis.Pass) []SpinFinding {
+	var out []SpinFinding
+	pass.Preorder([]ast.Node{(*ast.ForStmt)(nil)}, func(n ast.Node) {
+		fs := n.(*ast.ForStmt)
+
+		// Conditions that steer the loop: the for-condition plus every
+		// if-condition in the body (break guards live there).
+		conds := conditions(fs)
+		poll := firstPollCall(pass, conds)
+		if poll == nil {
+			return
+		}
+		// A counted loop advances its own condition (`for i := 0;
+		// i < n; i++`): it terminates by construction, whatever it
+		// polls along the way.
+		if selfAdvancing(fs) {
+			return
+		}
+		if loopYields(pass, fs, conds) {
+			return
+		}
+		out = append(out, SpinFinding{Pos: fs.Pos(), Polled: types.ExprString(poll)})
+	})
+	return out
+}
+
+func conditions(fs *ast.ForStmt) []ast.Expr {
+	var conds []ast.Expr
+	if fs.Cond != nil {
+		conds = append(conds, fs.Cond)
+	}
+	ast.Inspect(fs.Body, func(n ast.Node) bool {
+		if ifs, ok := n.(*ast.IfStmt); ok {
+			conds = append(conds, ifs.Cond)
+		}
+		return true
+	})
+	return conds
+}
+
+// firstPollCall returns the first non-builtin, non-conversion call
+// inside any condition — the polled predicate.
+func firstPollCall(pass *analysis.Pass, conds []ast.Expr) *ast.CallExpr {
+	for _, cond := range conds {
+		var found *ast.CallExpr
+		ast.Inspect(cond, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isRealCall(pass, call) {
+				found = call
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// selfAdvancing reports whether the loop's own body or post-statement
+// assigns an identifier its for-condition reads — the counted-loop
+// shape, which terminates without external help.
+func selfAdvancing(fs *ast.ForStmt) bool {
+	if fs.Cond == nil {
+		return false
+	}
+	condIdents := make(map[string]bool)
+	ast.Inspect(fs.Cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			condIdents[id.Name] = true
+		}
+		return true
+	})
+	found := false
+	mark := func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			if condIdents[e.Name] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if condIdents[e.Sel.Name] {
+				found = true
+			}
+		}
+	}
+	scan := func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		}
+		return !found
+	}
+	if fs.Post != nil {
+		ast.Inspect(fs.Post, scan)
+	}
+	ast.Inspect(fs.Body, scan)
+	return found
+}
+
+// loopYields reports whether the loop contains any construct that
+// could advance simulation time or block: a yielding call outside the
+// tracked conditions, a yield-named call anywhere, a channel
+// operation, select, go, defer, or return. Calls to callees whose
+// purity facts prove Yields=false do not count — the pre-facts
+// analyzer had to treat every body call as a potential yield, which
+// let `for s.Busy() { stats.bump() }` hide behind a pure helper.
+func loopYields(pass *analysis.Pass, fs *ast.ForStmt, conds []ast.Expr) bool {
+	inCond := func(n ast.Node) bool {
+		for _, c := range conds {
+			if n.Pos() >= c.Pos() && n.End() <= c.End() {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	check := func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !isRealCall(pass, n) {
+				break
+			}
+			if YieldNames[calleeName(n)] {
+				found = true
+				break
+			}
+			if !inCond(n) && callMayYield(pass, n) {
+				found = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt, *ast.GoStmt, *ast.DeferStmt, *ast.ReturnStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		}
+		return !found
+	}
+	ast.Inspect(fs.Body, check)
+	if fs.Post != nil {
+		ast.Inspect(fs.Post, check)
+	}
+	if fs.Cond != nil {
+		// `for sched.Step() {}` drives the queue from the condition.
+		ast.Inspect(fs.Cond, check)
+	}
+	return found
+}
+
+// callMayYield judges one body call against facts: known non-yielding
+// callees don't save a spinning loop; everything unresolvable might.
+func callMayYield(pass *analysis.Pass, call *ast.CallExpr) bool {
+	callee := analysis.StaticCallee(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil {
+		return true // func value / interface / builtin-adjacent: assume yes
+	}
+	if YieldNames[callee.Name()] {
+		return true
+	}
+	var sig Sig
+	if pass.ImportObjectFact(callee, &sig) {
+		return sig.Yields
+	}
+	// Factless: the all-defaults signature means pure-and-non-yielding
+	// only for module packages the fact pass has visited. For std and
+	// unvisited packages, stay conservative outside the pure list.
+	if pureStdPkgs[callee.Pkg().Path()] {
+		return false
+	}
+	if pass.HasFactsFor(callee.Pkg().Path()) {
+		return false // visited by the fact pass; absence = all-defaults
+	}
+	return true
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// isRealCall reports whether call invokes an actual function — not a
+// builtin (len, cap, ...) and not a type conversion.
+func isRealCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if _, ok := pass.IsConversion(call); ok {
+		return false
+	}
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); ok {
+			return false
+		}
+	}
+	return true
+}

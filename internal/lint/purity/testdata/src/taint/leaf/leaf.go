@@ -1,0 +1,28 @@
+// Package leaf sits at the bottom of the cross-package taint fixture:
+// it touches the wall clock and the process-global RNG directly. The
+// packages above it (mid, world) never import time or math/rand —
+// every finding there exists only because the purity facts exported
+// here propagate up the call graph.
+package leaf
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock directly.
+func Stamp() time.Time {
+	return time.Now() // want `reads the wall clock`
+}
+
+// Jitter draws from the process-global rand source directly.
+func Jitter() int {
+	return rand.Intn(8) // want `draws from the process-global source`
+}
+
+// SeedTime is wall-clock tainted but sanctioned at the acquisition
+// point: the taint survives in the fact (for the certificate) but no
+// diagnostic fires here or in any caller.
+func SeedTime() int64 {
+	return time.Now().UnixNano() //politevet:allow wallclock(fixture: sanctioned at the source)
+}

@@ -1,0 +1,29 @@
+// Package mid is the middle hop of the cross-package taint fixture:
+// plain helpers that never mention time or math/rand, yet inherit
+// leaf's taints through its exported purity facts.
+package mid
+
+import "politewifi/internal/lint/purity/testdata/src/taint/leaf"
+
+// Poll inherits leaf.Stamp's wallclock taint one hop removed.
+func Poll() int64 {
+	return leaf.Stamp().UnixNano() // want `transitively reaches the wall clock: mid\.Poll → leaf\.Stamp → time\.Now`
+}
+
+// Roll inherits leaf.Jitter's globalrand taint one hop removed.
+func Roll() int {
+	return leaf.Jitter() + 1 // want `transitively draws from the process-global rand source: mid\.Roll → leaf\.Jitter → rand\.Intn`
+}
+
+// Quiet calls a function whose taint was sanctioned at the source;
+// the sanction rides along in the fact, so nothing fires here.
+func Quiet() int64 {
+	return leaf.SeedTime()
+}
+
+// SanctionedPoll sanctions the inherited taint at this call site: the
+// trace it exports is marked sanctioned from here up, so neither this
+// line nor any caller reports.
+func SanctionedPoll() int64 {
+	return leaf.Stamp().UnixNano() //politevet:allow wallclock(fixture: sanctioned at the acquiring call site)
+}

@@ -1,0 +1,27 @@
+// Package world is the root of the cross-package taint fixture: two
+// hops from the actual time.Now, shaped like the real
+// world.(*World).Run entry point. The diagnostic must carry the full
+// chain — entry → helper → source — or an operator staring at a
+// nondeterministic census has no thread to pull.
+package world
+
+import "politewifi/internal/lint/purity/testdata/src/taint/mid"
+
+// World mirrors the simulator's top-level driver type.
+type World struct {
+	seed int64
+}
+
+// Run reaches time.Now through mid.Poll → leaf.Stamp: the diagnostic
+// names every hop and the source position.
+func (w *World) Run() {
+	w.seed = mid.Poll() // want `transitively reaches the wall clock: world\.\(\*World\)\.Run → mid\.Poll → leaf\.Stamp → time\.Now at internal/lint/purity/testdata/src/taint/leaf/leaf\.go:\d+`
+	_ = mid.Roll()      // want `transitively draws from the process-global rand source: world\.\(\*World\)\.Run → mid\.Roll → leaf\.Jitter → rand\.Intn`
+}
+
+// RunQuiet reaches the same sources only through sanctioned traces:
+// silent at every level.
+func (w *World) RunQuiet() {
+	w.seed = mid.Quiet()
+	w.seed += mid.SanctionedPoll()
+}

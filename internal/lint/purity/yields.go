@@ -1,0 +1,149 @@
+package purity
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"politewifi/internal/lint/analysis"
+)
+
+// YieldNames are callee names that drive or wait on the simulation; a
+// call to one of these always counts as a yield, whatever the facts
+// say — `sched.Step()` advances time by contract.
+var YieldNames = map[string]bool{
+	"Step": true, "Run": true, "RunUntil": true, "RunFor": true,
+	"Sleep": true, "Wait": true, "Yield": true, "Park": true,
+	"Gosched": true, "simSleep": true, "SimSleep": true,
+}
+
+// seedYields performs the local (call-free) part of the yield
+// analysis: the function yields if its body contains a channel
+// operation, a select, a goroutine launch, a panic, or any write to
+// state outside its own frame. Calls are judged later, against facts,
+// in yieldsNow — so a function whose only suspicious constructs are
+// calls starts out non-yielding and is promoted by the fixpoint.
+func (a *pkgAnalysis) seedYields(fi *fnInfo) bool {
+	yields := false
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		if yields {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt, *ast.GoStmt:
+			yields = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				yields = true
+			}
+		case *ast.RangeStmt:
+			if t := a.pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					yields = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if !a.localLHS(fi, lhs) {
+					yields = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if !a.localLHS(fi, n.X) {
+				yields = true
+			}
+		case *ast.CallExpr:
+			if a.callAlwaysYields(n) {
+				yields = true
+			}
+		}
+		return !yields
+	})
+	return yields
+}
+
+// localLHS reports whether an assignment target is provably confined
+// to the function's own frame: a plain identifier declared inside the
+// function (including value parameters and named results). Selector,
+// index, and dereference targets may alias caller-visible state and
+// count as external writes.
+func (a *pkgAnalysis) localLHS(fi *fnInfo, lhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == "_" {
+		return true
+	}
+	obj := a.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = a.pass.TypesInfo.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pos() >= fi.decl.Pos() && v.Pos() <= fi.decl.End()
+}
+
+// callAlwaysYields classifies calls that yield regardless of callee
+// facts: yield-named callees, panic (terminates the caller), close
+// (a channel operation), and calls through function values or
+// interfaces that never resolve to a fact-bearing object — with the
+// exception of a short list of provably pure std packages.
+func (a *pkgAnalysis) callAlwaysYields(call *ast.CallExpr) bool {
+	if _, isConv := a.pass.IsConversion(call); isConv {
+		return false
+	}
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := a.pass.TypesInfo.Uses[fn].(*types.Builtin); ok {
+			return fn.Name == "panic" || fn.Name == "close" || obj.Name() == "recover"
+		}
+	case *ast.SelectorExpr:
+		if YieldNames[fn.Sel.Name] {
+			return true
+		}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && YieldNames[id.Name] {
+		return true
+	}
+	callee := analysis.StaticCallee(a.pass.TypesInfo, call)
+	if callee == nil {
+		return true // func value / interface dispatch: assume it can yield
+	}
+	if callee.Pkg() == nil {
+		return true
+	}
+	// Same-package and fact-bearing callees are judged in yieldsNow.
+	return false
+}
+
+// yieldsNow re-judges the function's calls against current facts: a
+// call yields unless the callee is known non-yielding.
+func (a *pkgAnalysis) yieldsNow(fi *fnInfo) bool {
+	if fi.seedYields {
+		return true
+	}
+	for _, cs := range fi.calls {
+		if sig, ok := a.calleeSig(cs.callee); ok {
+			if sig.Yields || YieldNames[cs.callee.Name()] {
+				return true
+			}
+			continue
+		}
+		if !calleeProvablyPure(cs.callee) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeProvablyPure reports whether a factless callee is still known
+// not to yield: a short list of provably pure std packages.
+func calleeProvablyPure(callee *types.Func) bool {
+	if YieldNames[callee.Name()] {
+		return false
+	}
+	return callee.Pkg() != nil && pureStdPkgs[callee.Pkg().Path()]
+}

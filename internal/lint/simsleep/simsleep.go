@@ -4,217 +4,36 @@
 // without scheduling anything (`for s.Busy() {}`) spins forever at
 // the same instant — the hot-spin class fixed by
 // core.ConcurrentScanner.simSleep and the capped busy-parks in the
-// hostile-channel work. The analyzer flags a for-loop when its
-// condition (or a break-guard inside it) polls via a function call
-// but the body performs no call, channel operation, or other
-// construct that could advance or wait on the simulation.
+// hostile-channel work.
+//
+// Detection lives in the purity fact pass (purity.FindSpins), which
+// this analyzer wraps for reporting. Since the interprocedural
+// upgrade, a call in the loop body only counts as a yield when the
+// callee's purity signature says it can yield — so a spin hidden
+// behind a provably pure helper (`for s.Busy() { stats.bump() }`) is
+// now caught, while a loop that drives the queue through a helper is
+// not flagged.
 package simsleep
 
 import (
-	"go/ast"
-	"go/token"
-	"go/types"
-
 	"politewifi/internal/lint/analysis"
+	"politewifi/internal/lint/purity"
 )
 
 // Analyzer implements the check.
 var Analyzer = &analysis.Analyzer{
 	Name: "simsleep",
-	Doc: "flag busy-wait loops that poll sim state via calls but never yield " +
-		"(no call, channel op, or select in the body); park on a scheduler event or simSleep-style wait",
+	Doc: "flag busy-wait loops that poll sim state via calls but never yield (no channel op, " +
+		"select, or call that can advance simulated time — judged against purity facts); " +
+		"park on a scheduler event or simSleep-style wait",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
-	pass.Preorder([]ast.Node{(*ast.ForStmt)(nil)}, func(n ast.Node) {
-		fs := n.(*ast.ForStmt)
-
-		// Conditions that steer the loop: the for-condition plus every
-		// if-condition in the body (break guards live there).
-		conds := conditions(fs)
-		poll := firstPollCall(pass, conds)
-		if poll == nil {
-			return
-		}
-		// A counted loop advances its own condition (`for i := 0;
-		// i < n; i++`): it terminates by construction, whatever it
-		// polls along the way.
-		if selfAdvancing(fs) {
-			return
-		}
-		if yields(pass, fs, conds) {
-			return
-		}
-		pass.Reportf(fs.Pos(),
-			"for-loop polls %s without yielding: nothing in the body schedules, waits, or calls anything, so simulated time cannot advance and the loop spins (the core.ConcurrentScanner.simSleep hot-spin class); park on a scheduler event or a simSleep-style wait, or carry a //politevet:allow simsleep(reason) directive",
-			types.ExprString(poll))
-	})
-	return nil
-}
-
-func conditions(fs *ast.ForStmt) []ast.Expr {
-	var conds []ast.Expr
-	if fs.Cond != nil {
-		conds = append(conds, fs.Cond)
-	}
-	ast.Inspect(fs.Body, func(n ast.Node) bool {
-		if ifs, ok := n.(*ast.IfStmt); ok {
-			conds = append(conds, ifs.Cond)
-		}
-		return true
-	})
-	return conds
-}
-
-// firstPollCall returns the first non-builtin, non-conversion call
-// inside any condition — the polled predicate.
-func firstPollCall(pass *analysis.Pass, conds []ast.Expr) *ast.CallExpr {
-	for _, cond := range conds {
-		var found *ast.CallExpr
-		ast.Inspect(cond, func(n ast.Node) bool {
-			if found != nil {
-				return false
-			}
-			if call, ok := n.(*ast.CallExpr); ok && isRealCall(pass, call) {
-				found = call
-				return false
-			}
-			return true
-		})
-		if found != nil {
-			return found
-		}
+	for _, spin := range purity.FindSpins(pass) {
+		pass.Reportf(spin.Pos,
+			"for-loop polls %s without yielding: nothing in the body schedules, waits, or calls anything that can advance simulated time, so the loop spins (the core.ConcurrentScanner.simSleep hot-spin class); park on a scheduler event or a simSleep-style wait, or carry a //politevet:allow simsleep(reason) directive",
+			spin.Polled)
 	}
 	return nil
-}
-
-// yieldNames are callee names that drive or wait on the simulation;
-// a polling loop that invokes one of these each iteration — even
-// inside its break guard, like ProbeSync's `if !sched.Step()` — is a
-// drive loop, not a spin.
-var yieldNames = map[string]bool{
-	"Step": true, "Run": true, "RunUntil": true, "RunFor": true,
-	"Sleep": true, "Wait": true, "Yield": true, "Park": true,
-	"Gosched": true, "simSleep": true, "SimSleep": true,
-}
-
-// selfAdvancing reports whether the loop's own body or post-statement
-// assigns an identifier its for-condition reads — the counted-loop
-// shape, which terminates without external help.
-func selfAdvancing(fs *ast.ForStmt) bool {
-	if fs.Cond == nil {
-		return false
-	}
-	condIdents := make(map[string]bool)
-	ast.Inspect(fs.Cond, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok {
-			condIdents[id.Name] = true
-		}
-		return true
-	})
-	found := false
-	mark := func(e ast.Expr) {
-		switch e := e.(type) {
-		case *ast.Ident:
-			if condIdents[e.Name] {
-				found = true
-			}
-		case *ast.SelectorExpr:
-			if condIdents[e.Sel.Name] {
-				found = true
-			}
-		}
-	}
-	scan := func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
-				mark(lhs)
-			}
-		case *ast.IncDecStmt:
-			mark(n.X)
-		}
-		return !found
-	}
-	if fs.Post != nil {
-		ast.Inspect(fs.Post, scan)
-	}
-	ast.Inspect(fs.Body, scan)
-	return found
-}
-
-// yields reports whether the loop contains any construct that could
-// advance simulation time or block: a call outside the tracked
-// conditions, a yield-named call anywhere, a channel operation,
-// select, go, defer, or return.
-func yields(pass *analysis.Pass, fs *ast.ForStmt, conds []ast.Expr) bool {
-	inCond := func(n ast.Node) bool {
-		for _, c := range conds {
-			if n.Pos() >= c.Pos() && n.End() <= c.End() {
-				return true
-			}
-		}
-		return false
-	}
-	found := false
-	check := func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if isRealCall(pass, n) && (!inCond(n) || yieldNames[calleeName(n)]) {
-				found = true
-			}
-		case *ast.SendStmt, *ast.SelectStmt, *ast.GoStmt, *ast.DeferStmt, *ast.ReturnStmt:
-			found = true
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
-				found = true
-			}
-		case *ast.RangeStmt:
-			if t := pass.TypeOf(n.X); t != nil {
-				if _, ok := t.Underlying().(*types.Chan); ok {
-					found = true
-				}
-			}
-		}
-		return !found
-	}
-	ast.Inspect(fs.Body, check)
-	if fs.Post != nil {
-		ast.Inspect(fs.Post, check)
-	}
-	if fs.Cond != nil {
-		// `for sched.Step() {}` drives the queue from the condition.
-		ast.Inspect(fs.Cond, check)
-	}
-	return found
-}
-
-// calleeName extracts the called function or method name.
-func calleeName(call *ast.CallExpr) string {
-	switch fn := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		return fn.Name
-	case *ast.SelectorExpr:
-		return fn.Sel.Name
-	}
-	return ""
-}
-
-// isRealCall reports whether call invokes an actual function — not a
-// builtin (len, cap, ...) and not a type conversion.
-func isRealCall(pass *analysis.Pass, call *ast.CallExpr) bool {
-	if _, ok := pass.IsConversion(call); ok {
-		return false
-	}
-	switch fn := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		if _, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); ok {
-			return false
-		}
-	}
-	return true
 }

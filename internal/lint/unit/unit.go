@@ -6,15 +6,21 @@
 //  1. `tool -V=full` — print an identifying line used as a cache key;
 //  2. `tool -flags` — print a JSON description of supported flags;
 //  3. `tool <dir>/vet.cfg` — analyze one package unit described by a
-//     JSON config: source files, the import map, and compiled export
-//     data for every dependency.
+//     JSON config: source files, the import map, compiled export data
+//     for every dependency, and — since the interprocedural upgrade —
+//     the .vetx fact files this same tool wrote for the dependencies
+//     (PackageVetx), plus where to write this unit's own (VetxOutput).
+//
+// Dependency units arrive with VetxOnly set: the go command wants
+// only cross-package facts for those. For in-module dependencies the
+// tool runs the purity fact pass and writes real facts; everything
+// else (std) gets an empty facts file, and the consuming analyzers
+// treat factless foreign callees conservatively. That keeps a
+// whole-repo `go vet -vettool=politevet ./...` fast while matching
+// standalone mode finding-for-finding.
 //
 // Diagnostics go to stderr as file:line:col lines; a non-zero exit
-// tells go vet the package failed. Dependency units arrive with
-// VetxOnly set — the go command only wants cross-package facts for
-// those — and since politevet's analyzers are all single-package, the
-// tool just writes an empty facts file and returns, which keeps a
-// whole-repo `go vet -vettool=politevet ./...` fast.
+// tells go vet the package failed.
 package unit
 
 import (
@@ -26,6 +32,7 @@ import (
 	"path/filepath"
 
 	"politewifi/internal/lint"
+	"politewifi/internal/lint/analysis"
 	"politewifi/internal/lint/load"
 )
 
@@ -40,6 +47,7 @@ type Config struct {
 	NonGoFiles  []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string
 	VetxOnly    bool
 	VetxOutput  string
 	GoVersion   string
@@ -101,15 +109,39 @@ func RunConfig(path string, enabled map[string]bool, w io.Writer) (int, error) {
 		return 0, fmt.Errorf("parsing %s: %v", path, err)
 	}
 
-	// The go command requires the facts file to exist even when the
-	// unit produced none.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+	writeVetx := func(payload []byte) error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, payload, 0o666)
+	}
+
+	// Foreign (std) dependency units carry no politevet facts; satisfy
+	// the protocol with an empty file and skip the typecheck entirely.
+	if cfg.VetxOnly && !lint.InModule(cfg.ImportPath) {
+		return 0, writeVetx(nil)
+	}
+
+	// Decode dependency facts: the .vetx files this tool wrote when the
+	// go command visited the dependencies. Only in-module entries carry
+	// real facts; foreign paths stay absent so consumers treat their
+	// functions conservatively.
+	imported := make(map[string]*analysis.FactSet)
+	for depPath, vetxFile := range cfg.PackageVetx {
+		plain := analysis.TrimTestVariant(depPath)
+		if !lint.InModule(plain) {
+			continue
+		}
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			return 0, fmt.Errorf("reading facts of %s: %v", depPath, err)
+		}
+		fs, err := analysis.DecodeFactSet(plain, data)
+		if err != nil {
 			return 0, err
 		}
-	}
-	if cfg.VetxOnly {
-		return 0, nil
+		fs.Freeze()
+		imported[plain] = fs
 	}
 
 	pkg, err := load.Check(load.Unit{
@@ -122,12 +154,27 @@ func RunConfig(path string, enabled map[string]bool, w io.Writer) (int, error) {
 	})
 	if err != nil || len(pkg.TypeErrors) > 0 {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0, nil
+			return 0, writeVetx(nil)
 		}
 		if err == nil {
 			err = pkg.TypeErrors[0]
 		}
 		return 0, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	facts, err := lint.ComputeFacts(pkg, imported)
+	if err != nil {
+		return 0, err
+	}
+	payload, err := facts.Encode()
+	if err != nil {
+		return 0, err
+	}
+	if err := writeVetx(payload); err != nil {
+		return 0, err
+	}
+	if cfg.VetxOnly {
+		return 0, nil
 	}
 
 	analyzers := lint.Analyzers()
@@ -141,7 +188,7 @@ func RunConfig(path string, enabled map[string]bool, w io.Writer) (int, error) {
 		analyzers = kept
 	}
 
-	findings, err := lint.RunPackage(pkg, analyzers)
+	findings, err := lint.RunPackage(pkg, analyzers, imported)
 	if err != nil {
 		return 0, err
 	}

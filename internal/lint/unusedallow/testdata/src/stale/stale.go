@@ -1,0 +1,25 @@
+// Package stale exercises the unusedallow checker: directives that
+// suppress a live finding are used, directives whose finding is gone
+// are stale, and directives for analyzers not in the run are merely
+// unexercised.
+package stale
+
+import "time"
+
+// used: the directive suppresses a live wallclock finding, so it is
+// not stale.
+func now() time.Time {
+	return time.Now() //politevet:allow wallclock(fixture: directive is exercised)
+}
+
+// stale: a duration conversion never read the wall clock, so this
+// directive excuses nothing.
+func width() time.Duration {
+	return time.Duration(16) //politevet:allow wallclock(fixture: nothing here to excuse) // want `suppressed nothing this run`
+}
+
+// unexercised: globalrand is not among the analyzers this fixture
+// runs, so its directives are not judged stale.
+func quiet() int {
+	return 4 //politevet:allow globalrand(fixture: analyzer disabled in this run)
+}

@@ -1,0 +1,27 @@
+// Package unusedallow flags stale //politevet:allow directives: a
+// well-formed, reasoned directive that suppressed nothing during a
+// run. Stale allows are how invariant escapes outlive their cause —
+// the code they excused was fixed or deleted, the annotation stays,
+// and a future regression at the same line sails through silently.
+//
+// The check is necessarily a property of a whole run, not of one
+// AST: only the driver knows which analyzers executed and which
+// diagnostics each directive swallowed. The Analyzer here is a
+// marker — its Run does nothing — so the check participates in flag
+// plumbing (-unusedallow=false), doc listings, and the known-name
+// set exactly like a real analyzer, while the logic lives in the
+// driver's Suppressor (analysis.Suppressor.Unused). A directive
+// naming an analyzer that was disabled for the run is not reported:
+// it is unexercised, not provably stale.
+package unusedallow
+
+import "politewifi/internal/lint/analysis"
+
+// Analyzer is the marker under which the driver reports stale
+// directives.
+var Analyzer = &analysis.Analyzer{
+	Name: "unusedallow",
+	Doc: "flag //politevet:allow directives that suppressed nothing: the finding they excused " +
+		"is gone, so the escape hatch is stale and must be removed (driver-level check)",
+	Run: func(*analysis.Pass) error { return nil },
+}

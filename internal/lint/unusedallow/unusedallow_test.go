@@ -1,0 +1,17 @@
+package unusedallow_test
+
+import (
+	"testing"
+
+	"politewifi/internal/lint/analysistest"
+	"politewifi/internal/lint/unusedallow"
+	"politewifi/internal/lint/wallclock"
+)
+
+// TestStaleDirectives runs wallclock plus the unusedallow marker over
+// a fixture with one exercised, one stale, and one unexercised
+// directive; only the stale one may fire, and only because
+// unusedallow is in the run.
+func TestStaleDirectives(t *testing.T) {
+	analysistest.RunAnalyzers(t, "stale", wallclock.Analyzer, unusedallow.Analyzer)
+}
